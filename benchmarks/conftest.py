@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Each paper artefact has one bench module.  Monte-Carlo experiments run at
+a deliberately tiny profile — the benches time the *machinery* that
+regenerates each table/figure; statistically meaningful numbers come from
+``python -m repro.experiments.runner --profile medium``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channel
+from repro.experiments.common import PROFILES
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.modulation.mapper import random_symbol_indices
+
+
+@pytest.fixture(scope="session")
+def tiny_profile():
+    return PROFILES["quick"].scaled(0.25)
+
+
+@pytest.fixture(scope="session")
+def system_12x12_64qam():
+    return MimoSystem(12, 12, QamConstellation(64))
+
+
+@pytest.fixture(scope="session")
+def system_8x8_16qam():
+    return MimoSystem(8, 8, QamConstellation(16))
+
+
+@pytest.fixture(scope="session")
+def detection_batch(system_12x12_64qam):
+    """A (channel, received, noise_var) batch shared by detector benches."""
+    system = system_12x12_64qam
+    rng = np.random.default_rng(2017)
+    channel = rayleigh_channel(
+        system.num_rx_antennas, system.num_streams, rng
+    )
+    noise_var = noise_variance_for_snr_db(22.0)
+    indices = random_symbol_indices(
+        192, system.num_streams, system.constellation, rng
+    )
+    received = apply_channel(
+        channel, system.constellation.points[indices], noise_var, rng
+    )
+    return channel, received, noise_var

@@ -1,0 +1,38 @@
+"""Fig. 11 regeneration bench: the GPU speedup model sweep."""
+
+from repro.experiments import fig11
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.parallel.gpu import CpuOpenMpModel, GpuExecutionModel
+
+
+def test_gpu_model_sweep(benchmark, system_12x12_64qam):
+    gpu = GpuExecutionModel()
+    system = system_12x12_64qam
+
+    def sweep():
+        total = 0.0
+        for paths in (8, 32, 128, 512):
+            for nsc in (64, 1024, 16384):
+                total += gpu.detection_time(system, paths, nsc, "flexcore")
+                total += gpu.fcsd_detection_time(system, 1, nsc)
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_cpu_model(benchmark, system_12x12_64qam):
+    cpu = CpuOpenMpModel()
+
+    def sweep():
+        return sum(
+            cpu.detection_time(system_12x12_64qam, 64, 1024, threads)
+            for threads in (1, 2, 4, 8)
+        )
+
+    assert benchmark(sweep) > 0
+
+
+def test_fig11_full_regeneration(benchmark):
+    result = benchmark(fig11.run, "quick")
+    assert len(result.rows) > 40

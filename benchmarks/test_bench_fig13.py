@@ -1,0 +1,23 @@
+"""Fig. 13 regeneration bench: FPGA energy-efficiency exploration."""
+
+from repro.experiments import fig13
+from repro.parallel.fpga import FCSD_COST_MODEL, FLEXCORE_COST_MODEL, FpgaEngineModel
+
+
+def test_energy_sweep(benchmark, system_12x12_64qam):
+    flex = FpgaEngineModel(FLEXCORE_COST_MODEL, system_12x12_64qam)
+    fcsd = FpgaEngineModel(FCSD_COST_MODEL, system_12x12_64qam)
+
+    def sweep():
+        total = 0.0
+        for num_pes in (1, 2, 4, 8, 16, 32, 64):
+            total += flex.energy_per_bit(num_pes, 128)
+            total += fcsd.energy_per_bit(num_pes, 4096)
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_fig13_full_regeneration(benchmark):
+    result = benchmark(fig13.run, "quick")
+    assert {row["scheme"] for row in result.rows} == {"flexcore", "fcsd"}

@@ -1,0 +1,31 @@
+"""Fig. 14 regeneration bench: rank-probability Monte-Carlo."""
+
+from repro.experiments import fig14
+from repro.modulation.constellation import QamConstellation
+
+
+def test_rank_distribution_simulation(benchmark):
+    constellation = QamConstellation(16)
+    histogram = benchmark(
+        fig14.simulate_rank_distribution, constellation, 0.1, 20000, 10, 3
+    )
+    assert histogram.sum() <= 1.0 + 1e-9
+    assert histogram[0] > histogram[-1]
+
+
+def test_testbed_rank_distribution(benchmark):
+    constellation = QamConstellation(16)
+    histogram = benchmark.pedantic(
+        fig14.testbed_rank_distribution,
+        args=(constellation, 0.1, 2000, 10, 5),
+        rounds=1,
+        iterations=1,
+    )
+    assert histogram[0] > 0
+
+
+def test_fig14_full_regeneration(benchmark, tiny_profile):
+    result = benchmark.pedantic(
+        fig14.run, args=(tiny_profile,), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 20

@@ -1,0 +1,46 @@
+"""Pre-processing benches: the §3.1.1 "low overhead" claim.
+
+Times the promising-path tree search against the QR decomposition it
+piggybacks on, across PE counts and batch-expansion sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channel
+from repro.flexcore.preprocessing import find_promising_paths
+from repro.flexcore.probability import LevelErrorModel
+from repro.mimo.qr import sorted_qr
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture(scope="module")
+def model_12():
+    channel = rayleigh_channel(12, 12, rng=5)
+    qr = sorted_qr(channel)
+    return LevelErrorModel.from_channel(
+        qr.r, 0.01, QamConstellation(64)
+    )
+
+
+@pytest.mark.parametrize("num_paths", [32, 128, 1024])
+def test_tree_search(benchmark, model_12, num_paths):
+    result = benchmark(
+        find_promising_paths, model_12, num_paths, 64
+    )
+    assert result.position_vectors.shape[0] == num_paths
+
+
+@pytest.mark.parametrize("batch", [1, 12])
+def test_parallel_expansion(benchmark, model_12, batch):
+    result = benchmark(
+        find_promising_paths, model_12, 128, 64, None, batch
+    )
+    assert result.position_vectors.shape[0] == 128
+
+
+def test_qr_reference(benchmark):
+    """The channel-triggered cost pre-processing is compared against."""
+    channel = rayleigh_channel(12, 12, rng=6)
+    qr = benchmark(sorted_qr, channel)
+    assert qr.r.shape == (12, 12)

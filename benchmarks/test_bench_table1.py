@@ -1,0 +1,38 @@
+"""Table 1 regeneration bench: sphere-decoder complexity measurement.
+
+Times the instrumented depth-first sphere decoding that produces the
+GFLOPS column, and regenerates the full table once at the tiny profile.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+def test_sphere_flops_measurement_4x4(benchmark):
+    system = MimoSystem(4, 4, QamConstellation(16))
+    flops, nodes = benchmark(
+        table1.measure_sphere_flops, system, table1.SNR_DB, 20, 7
+    )
+    assert flops > 0
+    assert nodes >= system.num_streams
+
+
+def test_sphere_flops_measurement_8x8(benchmark):
+    system = MimoSystem(8, 8, QamConstellation(16))
+    flops, _ = benchmark.pedantic(
+        table1.measure_sphere_flops,
+        args=(system, table1.SNR_DB, 12, 7),
+        rounds=2,
+        iterations=1,
+    )
+    assert flops > 0
+
+
+def test_table1_full_regeneration(benchmark, tiny_profile):
+    result = benchmark.pedantic(
+        table1.run, args=(tiny_profile,), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 4

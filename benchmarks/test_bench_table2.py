@@ -1,0 +1,28 @@
+"""Table 2 regeneration bench: pre-processing complexity accounting."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_complexity_measurement_8x8_32pes(benchmark):
+    measured = benchmark(table2.measure_complexity, 8, 32, 5, 11)
+    assert measured["preproc"] > 0
+    assert measured["detect"] > 0
+
+
+def test_complexity_measurement_12x12_128pes(benchmark):
+    measured = benchmark.pedantic(
+        table2.measure_complexity,
+        args=(12, 128, 5, 11),
+        rounds=2,
+        iterations=1,
+    )
+    assert measured["detect"] > measured["preproc"]
+
+
+def test_table2_full_regeneration(benchmark, tiny_profile):
+    result = benchmark.pedantic(
+        table2.run, args=(tiny_profile,), rounds=1, iterations=1
+    )
+    assert len(result.rows) == 4

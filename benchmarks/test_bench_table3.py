@@ -1,0 +1,22 @@
+"""Table 3 regeneration bench: the RTL cost model (pure computation)."""
+
+from repro.experiments import table3
+from repro.parallel.fpga import FCSD_COST_MODEL, FLEXCORE_COST_MODEL
+
+
+def test_cost_model_evaluation(benchmark):
+    def evaluate():
+        total = 0.0
+        for model in (FLEXCORE_COST_MODEL, FCSD_COST_MODEL):
+            for num_streams in (8, 12, 16):
+                total += model.logic_luts(num_streams)
+                total += model.area_delay_product(num_streams)
+                total += model.power_w(num_streams)
+        return total
+
+    assert benchmark(evaluate) > 0
+
+
+def test_table3_full_regeneration(benchmark):
+    result = benchmark(table3.run, "quick")
+    assert len(result.rows) == 6

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""a-FlexCore: an access point that spends PEs only when the channel
+demands it.
+
+Sweeps the number of active users on a 12-antenna AP (the Fig. 10
+scenario): with few users the channel is well conditioned and a-FlexCore
+activates ~1 processing element (linear-detector complexity); at full
+load it lights up the whole pool while matching plain FlexCore's
+throughput.
+
+Run:  python examples/adaptive_ap.py
+"""
+
+from repro import AdaptiveFlexCoreDetector, MimoSystem, QamConstellation
+from repro.channel import IndoorTestbed
+from repro.link import LinkConfig, simulate_link
+from repro.link.channels import testbed_sampler
+
+AP_ANTENNAS = 12
+AVAILABLE_PES = 64
+
+
+def main() -> None:
+    snr_db = 15.0
+    print(
+        f"a-FlexCore on a {AP_ANTENNAS}-antenna AP, {AVAILABLE_PES} PEs "
+        f"available, 64-QAM, {snr_db:.0f} dB\n"
+    )
+    print(f"{'users':>5s} {'PER':>7s} {'throughput':>12s} {'avg active PEs':>15s}")
+    for num_users in (4, 6, 8, 10, 12):
+        system = MimoSystem(num_users, AP_ANTENNAS, QamConstellation(64))
+        config = LinkConfig(
+            system=system, ofdm_symbols_per_packet=2, num_subcarriers=12
+        )
+        testbed = IndoorTestbed(num_rx=AP_ANTENNAS, rng=100 + num_users)
+        sampler = testbed_sampler(config, testbed, num_frames=4)
+        detector = AdaptiveFlexCoreDetector(
+            system, num_paths=AVAILABLE_PES, probability_target=0.95
+        )
+        result = simulate_link(config, detector, snr_db, 10, sampler, rng=3)
+        throughput = result.network_throughput_bps(config) / 1e6
+        active = result.metadata["average_active_paths"]
+        print(
+            f"{num_users:>5d} {result.per:>7.3f} {throughput:>9.1f} Mb/s "
+            f"{active:>15.1f}"
+        )
+    print(
+        "\nUnderloaded APs detect near-optimally with ~1 PE; the full "
+        "pool engages only as conditioning degrades (Fig. 10's line)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""FPGA sizing study: processing elements vs energy per bit.
+
+Walks the §5.3 design space on the modelled XCVU440: for detection
+operating points with equal network throughput (FlexCore 128 paths vs
+FCSD L=2's 4096), how do throughput and J/bit evolve as processing
+elements are instantiated — and where does the 75% utilisation cap land?
+
+Run:  python examples/fpga_sizing.py
+"""
+
+from repro import MimoSystem, QamConstellation
+from repro.parallel import (
+    FpgaEngineModel,
+)
+from repro.parallel.fpga import FCSD_COST_MODEL, FLEXCORE_COST_MODEL
+
+
+def main() -> None:
+    system = MimoSystem(12, 12, QamConstellation(64))
+    flex = FpgaEngineModel(FLEXCORE_COST_MODEL, system)
+    fcsd = FpgaEngineModel(FCSD_COST_MODEL, system)
+
+    print("12x12 64-QAM engines at the 5.5 ns design point\n")
+    print("per-PE cost (model calibrated on the paper's synthesis):")
+    for name, model in (("FlexCore", FLEXCORE_COST_MODEL), ("FCSD", FCSD_COST_MODEL)):
+        print(
+            f"  {name:9s} logic={model.logic_luts(12):7.0f} LUTs  "
+            f"DSP48={model.dsp48(12):3d}  fmax={model.fmax_mhz:.1f} MHz  "
+            f"P={model.power_w(12):.2f} W"
+        )
+
+    print(
+        f"\nequal-throughput operating points: FlexCore 128 paths vs "
+        f"FCSD 4096 paths (L=2)\n"
+    )
+    print(
+        f"{'PEs':>5s} {'FlexCore Gb/s':>14s} {'FlexCore nJ/b':>14s} "
+        f"{'FCSD Gb/s':>10s} {'FCSD nJ/b':>10s} {'ratio':>7s}"
+    )
+    for num_pes in (1, 2, 4, 8, 16, 32, 64, 128):
+        fx_thr = flex.processing_throughput_bps(num_pes, 128) / 1e9
+        fx_jb = flex.energy_per_bit(num_pes, 128) * 1e9
+        fc_thr = fcsd.processing_throughput_bps(num_pes, 4096) / 1e9
+        fc_jb = fcsd.energy_per_bit(num_pes, 4096) * 1e9
+        print(
+            f"{num_pes:>5d} {fx_thr:>14.2f} {fx_jb:>14.2f} "
+            f"{fc_thr:>10.3f} {fc_jb:>10.1f} {fc_jb / fx_jb:>6.1f}x"
+        )
+
+    print(
+        f"\ndevice caps (75% utilisation): FlexCore "
+        f"{flex.max_instantiable_pes()} PEs, FCSD "
+        f"{fcsd.max_instantiable_pes()} PEs"
+    )
+    print(
+        "FCSD burns an order of magnitude more energy per delivered bit "
+        "at the same network throughput (Fig. 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

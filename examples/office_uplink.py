@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""A 12-user coded uplink over the simulated indoor office testbed.
+
+Reproduces the paper's headline scenario (§5.1) in miniature: twelve
+64-QAM users transmit 802.11-coded packets to a 12-antenna AP; the
+channel comes from the geometric office simulator (the WARP substitute).
+Compares network throughput of FlexCore at several PE budgets against
+MMSE and FCSD — a one-panel, low-trial slice of Fig. 9.
+
+Run:  python examples/office_uplink.py
+"""
+
+from repro import FcsdDetector, FlexCoreDetector, MimoSystem, MmseDetector, QamConstellation
+from repro.channel import IndoorTestbed
+from repro.link import LinkConfig, simulate_link
+from repro.link.channels import testbed_sampler
+
+
+def main() -> None:
+    system = MimoSystem(12, 12, QamConstellation(64))
+    config = LinkConfig(
+        system=system, ofdm_symbols_per_packet=2, num_subcarriers=16
+    )
+    testbed = IndoorTestbed(num_rx=12, rng=2017)
+    sampler = testbed_sampler(config, testbed, num_frames=8)
+    snr_db = 14.0
+    packets = 16
+
+    print(
+        f"{system.label()}: {packets} packets over the office testbed at "
+        f"{snr_db:.1f} dB\n"
+    )
+    print(f"{'scheme':24s} {'PEs':>5s} {'PER':>7s} {'throughput':>12s}")
+
+    schemes = [
+        ("MMSE", 0, MmseDetector(system)),
+        ("FCSD (L=1)", 64, FcsdDetector(system, num_expanded=1)),
+        ("FlexCore", 16, FlexCoreDetector(system, num_paths=16)),
+        ("FlexCore", 64, FlexCoreDetector(system, num_paths=64)),
+        ("FlexCore", 196, FlexCoreDetector(system, num_paths=196)),
+    ]
+    for name, pes, detector in schemes:
+        result = simulate_link(
+            config, detector, snr_db, packets, sampler, rng=1
+        )
+        throughput = result.network_throughput_bps(config) / 1e6
+        print(
+            f"{name:24s} {pes:>5d} {result.per:>7.3f} "
+            f"{throughput:>9.1f} Mb/s"
+        )
+
+    print(
+        "\nFlexCore runs at ANY PE count (here 16/64/196) while FCSD is "
+        "locked to powers of |Q| — the flexibility Fig. 9 demonstrates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: detect an 8x8 16-QAM uplink with FlexCore.
+
+Builds a random Rayleigh channel, runs FlexCore next to MMSE and the
+exact-ML sphere decoder, and prints symbol error rates plus FlexCore's
+pre-processing diagnostics — the smallest end-to-end tour of the API.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    FlexCoreDetector,
+    MimoSystem,
+    MmseDetector,
+    QamConstellation,
+    SphereDecoder,
+)
+from repro.channel import rayleigh_channel
+from repro.mimo import apply_channel, noise_variance_for_snr_db
+from repro.modulation import random_symbol_indices
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    system = MimoSystem(
+        num_streams=8, num_rx_antennas=8, constellation=QamConstellation(16)
+    )
+    snr_db = 16.0
+    noise_var = noise_variance_for_snr_db(snr_db)
+
+    # One channel realisation, a thousand transmit vectors.
+    channel = rayleigh_channel(system.num_rx_antennas, system.num_streams, rng)
+    tx_indices = random_symbol_indices(1000, system.num_streams,
+                                       system.constellation, rng)
+    received = apply_channel(
+        channel, system.constellation.points[tx_indices], noise_var, rng
+    )
+
+    detectors = {
+        "MMSE (linear baseline)": MmseDetector(system),
+        "FlexCore, 16 PEs": FlexCoreDetector(system, num_paths=16),
+        "FlexCore, 64 PEs": FlexCoreDetector(system, num_paths=64),
+        "Sphere decoder (exact ML)": SphereDecoder(system),
+    }
+
+    print(f"{system.label()} uplink at {snr_db:.0f} dB per-user SNR\n")
+    for name, detector in detectors.items():
+        result = detector.detect(channel, received, noise_var)
+        ser = np.mean(result.indices != tx_indices)
+        print(f"  {name:28s} symbol error rate = {ser:.4f}")
+
+    # Peek inside FlexCore's pre-processing: the most promising tree
+    # paths for this channel, before any signal arrived.
+    flexcore = FlexCoreDetector(system, num_paths=8)
+    context = flexcore.prepare(channel, noise_var)
+    print("\nFlexCore pre-processing (8 most promising position vectors):")
+    for vector, probability in zip(
+        context.preprocessing.position_vectors,
+        context.preprocessing.probabilities,
+    ):
+        print(f"  p = {vector.tolist()}   Pc ~ {probability:.3e}")
+    print(
+        f"\ncaptured probability mass: "
+        f"{context.preprocessing.cumulative_probability:.3f}  "
+        f"(tree multiplications: "
+        f"{context.preprocessing.real_multiplications})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(no-network boxes), via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Spatial correlation via the Kronecker model.
+
+Co-located AP antennas (the paper's 6 cm spacing) see correlated fading;
+``H = R_rx^(1/2) H_iid R_tx^(1/2)`` imposes separable receive/transmit
+correlation on an i.i.d. draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+
+
+def exponential_correlation(size: int, rho: float) -> np.ndarray:
+    """The classic exponential correlation matrix ``R[i, j] = rho^|i-j|``."""
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"rho must lie in [0, 1), got {rho}")
+    indices = np.arange(size)
+    return rho ** np.abs(indices[:, None] - indices[None, :]).astype(float)
+
+
+def _matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
+    """Hermitian PSD square root via eigen-decomposition."""
+    values, vectors = np.linalg.eigh(matrix)
+    values = np.clip(values, 0.0, None)
+    return (vectors * np.sqrt(values)[None, :]) @ vectors.conj().T
+
+
+def kronecker_correlated(
+    iid_channel: np.ndarray,
+    rx_correlation: np.ndarray | None = None,
+    tx_correlation: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply Kronecker correlation to one or a batch of i.i.d. channels.
+
+    ``iid_channel`` may be ``(Nr, Nt)`` or ``(batch, Nr, Nt)``.
+    """
+    channel = np.asarray(iid_channel)
+    squeeze = channel.ndim == 2
+    if squeeze:
+        channel = channel[None]
+    if channel.ndim != 3:
+        raise DimensionError("expected (Nr, Nt) or (batch, Nr, Nt)")
+    _, num_rx, num_tx = channel.shape
+    result = channel
+    if rx_correlation is not None:
+        rx_correlation = np.asarray(rx_correlation)
+        if rx_correlation.shape != (num_rx, num_rx):
+            raise DimensionError("rx correlation shape mismatch")
+        result = np.einsum("ij,bjk->bik", _matrix_sqrt(rx_correlation), result)
+    if tx_correlation is not None:
+        tx_correlation = np.asarray(tx_correlation)
+        if tx_correlation.shape != (num_tx, num_tx):
+            raise DimensionError("tx correlation shape mismatch")
+        result = np.einsum("bij,jk->bik", result, _matrix_sqrt(tx_correlation))
+    return result[0] if squeeze else result

@@ -1,0 +1,96 @@
+"""Temporal channel evolution: Doppler-correlated trace sequences.
+
+§3.1 notes that in dynamic channels the most promising paths vary in
+time, so pre-processing must re-run with each channel update (Table 2's
+context).  This module supplies the dynamics: a first-order
+Gauss-Markov process whose autocorrelation follows Jakes' model,
+``rho = J0(2 pi f_D tau)``, applied to the scattered part of a channel
+trace frame-by-frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import j0
+
+from repro.channel.traces import ChannelTrace
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_rng
+
+
+def jakes_correlation(doppler_hz: float, interval_s: float) -> float:
+    """Frame-to-frame correlation ``J0(2 pi f_D tau)``, clamped to >= 0."""
+    if doppler_hz < 0 or interval_s < 0:
+        raise ConfigurationError("doppler and interval must be non-negative")
+    return float(max(j0(2.0 * np.pi * doppler_hz * interval_s), 0.0))
+
+
+def evolve_channel(
+    current: np.ndarray, correlation: float, rng=None
+) -> np.ndarray:
+    """One Gauss-Markov step: ``h' = rho h + sqrt(1-rho^2) w``.
+
+    ``w`` is a fresh CN(0, E|h|^2-scaled) innovation, so average power is
+    preserved.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ConfigurationError("correlation must lie in [0, 1]")
+    generator = as_rng(rng)
+    current = np.asarray(current)
+    power = np.mean(np.abs(current) ** 2)
+    innovation = np.sqrt(power / 2.0) * (
+        generator.standard_normal(current.shape)
+        + 1j * generator.standard_normal(current.shape)
+    )
+    return correlation * current + np.sqrt(1.0 - correlation**2) * innovation
+
+
+def doppler_trace(
+    initial_frame: np.ndarray,
+    num_frames: int,
+    doppler_hz: float,
+    frame_interval_s: float,
+    rng=None,
+) -> ChannelTrace:
+    """Evolve one frame ``(subcarriers, Nr, Nt)`` into a time series.
+
+    Returns a :class:`ChannelTrace` whose frames decorrelate at the Jakes
+    rate — the input for mobility studies of pre-processing overhead.
+    """
+    if num_frames <= 0:
+        raise ConfigurationError("num_frames must be positive")
+    generator = as_rng(rng)
+    correlation = jakes_correlation(doppler_hz, frame_interval_s)
+    frames = [np.asarray(initial_frame, dtype=np.complex128)]
+    for _ in range(num_frames - 1):
+        frames.append(evolve_channel(frames[-1], correlation, generator))
+    return ChannelTrace(
+        response=np.stack(frames),
+        metadata={
+            "doppler_hz": doppler_hz,
+            "frame_interval_s": frame_interval_s,
+            "frame_correlation": correlation,
+        },
+    )
+
+
+def coherence_frames(
+    doppler_hz: float, frame_interval_s: float, threshold: float = 0.9
+) -> int:
+    """Frames until the autocorrelation first drops below ``threshold``.
+
+    This is how often FlexCore's pre-processing (and everyone's QR) must
+    re-run; with the per-event costs of Table 2 it converts directly into
+    a pre-processing duty cycle.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError("threshold must lie in (0, 1)")
+    correlation = jakes_correlation(doppler_hz, frame_interval_s)
+    if correlation >= 1.0:
+        return 1 << 30  # static channel: effectively never
+    count = 1
+    accumulated = correlation
+    while accumulated >= threshold and count < (1 << 30):
+        accumulated *= correlation
+        count += 1
+    return count

@@ -1,0 +1,63 @@
+"""Least-squares MIMO channel estimation from pilot transmissions.
+
+The paper's over-the-air runs include "all necessary estimation and
+synchronisation steps"; this module provides the estimation piece so the
+link simulator can optionally run with imperfect CSI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.mimo.model import apply_channel
+from repro.utils.rng import as_rng
+
+
+def pilot_matrix(num_streams: int, num_pilot_vectors: int) -> np.ndarray:
+    """Orthogonal unit-power pilots: rows of a DFT matrix, one per vector.
+
+    Returns shape ``(num_pilot_vectors, num_streams)`` with
+    ``num_pilot_vectors >= num_streams`` required for identifiability.
+    """
+    if num_pilot_vectors < num_streams:
+        raise DimensionError(
+            "need at least as many pilot vectors as streams"
+        )
+    length = num_pilot_vectors
+    grid = np.outer(np.arange(length), np.arange(num_streams))
+    return np.exp(2j * np.pi * grid / length)
+
+
+def estimate_channel_ls(
+    received_pilots: np.ndarray, pilots: np.ndarray
+) -> np.ndarray:
+    """LS estimate ``H_hat = Y^T P (P^H P)^-1`` from ``Y = P H^T + N``.
+
+    ``received_pilots`` is ``(num_pilot_vectors, Nr)``, ``pilots`` is
+    ``(num_pilot_vectors, Nt)``; returns ``(Nr, Nt)``.
+    """
+    received_pilots = np.asarray(received_pilots)
+    pilots = np.asarray(pilots)
+    if received_pilots.shape[0] != pilots.shape[0]:
+        raise DimensionError("pilot batch size mismatch")
+    gram = pilots.conj().T @ pilots
+    projected = pilots.conj().T @ received_pilots  # (Nt, Nr)
+    estimate_t = np.linalg.solve(gram, projected)
+    return estimate_t.T
+
+
+def sound_channel(
+    channel: np.ndarray,
+    noise_var: float,
+    num_pilot_vectors: int | None = None,
+    rng=None,
+) -> np.ndarray:
+    """Convenience: transmit pilots through ``channel`` and estimate it."""
+    channel = np.asarray(channel)
+    num_streams = channel.shape[1]
+    if num_pilot_vectors is None:
+        num_pilot_vectors = 2 * num_streams
+    pilots = pilot_matrix(num_streams, num_pilot_vectors)
+    received = apply_channel(channel, pilots, noise_var, rng=as_rng(rng))
+    return estimate_channel_ls(received, pilots)

@@ -1,0 +1,59 @@
+"""Small-scale fading models.
+
+Entries are normalised to unit average power (``E[|h|^2] = 1``) so the
+per-user receive SNR convention of :mod:`repro.mimo.model` holds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_rng
+
+
+def rayleigh_channel(num_rx: int, num_tx: int, rng=None) -> np.ndarray:
+    """One i.i.d. Rayleigh channel matrix, shape ``(num_rx, num_tx)``."""
+    return rayleigh_channels(1, num_rx, num_tx, rng)[0]
+
+
+def rayleigh_channels(
+    count: int, num_rx: int, num_tx: int, rng=None
+) -> np.ndarray:
+    """A batch of i.i.d. CN(0, 1) channels, shape ``(count, num_rx, num_tx)``."""
+    generator = as_rng(rng)
+    shape = (count, num_rx, num_tx)
+    return (
+        generator.standard_normal(shape) + 1j * generator.standard_normal(shape)
+    ) / np.sqrt(2.0)
+
+
+def rician_channel(
+    num_rx: int,
+    num_tx: int,
+    k_factor: float,
+    los_matrix: np.ndarray | None = None,
+    rng=None,
+) -> np.ndarray:
+    """Rician fading: deterministic LoS component plus Rayleigh scatter.
+
+    Parameters
+    ----------
+    k_factor:
+        Linear Rician K (LoS power / scattered power); 0 degenerates to
+        Rayleigh.
+    los_matrix:
+        Unit-modulus LoS steering matrix of shape ``(num_rx, num_tx)``;
+        defaults to the all-ones matrix.
+    """
+    if k_factor < 0:
+        raise ConfigurationError(f"k_factor must be >= 0, got {k_factor}")
+    if los_matrix is None:
+        los_matrix = np.ones((num_rx, num_tx), dtype=np.complex128)
+    los_matrix = np.asarray(los_matrix)
+    if los_matrix.shape != (num_rx, num_tx):
+        raise ConfigurationError("los_matrix shape mismatch")
+    scattered = rayleigh_channel(num_rx, num_tx, rng)
+    los_gain = np.sqrt(k_factor / (k_factor + 1.0))
+    nlos_gain = np.sqrt(1.0 / (k_factor + 1.0))
+    return los_gain * los_matrix + nlos_gain * scattered

@@ -1,0 +1,112 @@
+"""Channel trace containers.
+
+A :class:`ChannelTrace` stores the frequency-domain channel of an uplink
+over time: ``frames x subcarriers x Nr x Nt``.  The paper's 12-antenna
+evaluation is *trace-driven*: 1x12 single-user traces are measured
+separately and combined into 12x12 matrices (§5.1), which
+:func:`combine_user_traces` mirrors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+@dataclass
+class ChannelTrace:
+    """Frequency-domain channel snapshots.
+
+    Attributes
+    ----------
+    response:
+        Complex array ``(num_frames, num_subcarriers, num_rx, num_tx)``.
+    metadata:
+        Free-form provenance (geometry seed, user positions, ...).
+    """
+
+    response: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.response = np.asarray(self.response, dtype=np.complex128)
+        if self.response.ndim != 4:
+            raise DimensionError(
+                "trace must have shape (frames, subcarriers, Nr, Nt)"
+            )
+
+    @property
+    def num_frames(self) -> int:
+        return self.response.shape[0]
+
+    @property
+    def num_subcarriers(self) -> int:
+        return self.response.shape[1]
+
+    @property
+    def num_rx(self) -> int:
+        return self.response.shape[2]
+
+    @property
+    def num_tx(self) -> int:
+        return self.response.shape[3]
+
+    def frame(self, index: int) -> np.ndarray:
+        """All subcarrier channels of one frame: ``(subcarriers, Nr, Nt)``."""
+        return self.response[index]
+
+    def average_gain_per_user(self) -> np.ndarray:
+        """``E[|H[:, u]|^2]`` per user, averaged over frames/subcarriers/rx."""
+        power = np.abs(self.response) ** 2
+        return power.mean(axis=(0, 1, 2))
+
+    def save(self, path: str | Path) -> None:
+        """Persist to ``.npz`` (response + metadata keys as strings)."""
+        meta_keys = np.array(sorted(self.metadata), dtype=object)
+        meta_vals = np.array(
+            [repr(self.metadata[key]) for key in meta_keys], dtype=object
+        )
+        np.savez_compressed(
+            Path(path),
+            response=self.response,
+            meta_keys=meta_keys,
+            meta_vals=meta_vals,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChannelTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=True) as data:
+            response = data["response"]
+            metadata = dict(
+                zip(data["meta_keys"].tolist(), data["meta_vals"].tolist())
+            )
+        return cls(response=response, metadata=metadata)
+
+
+def combine_user_traces(user_traces: list[ChannelTrace]) -> ChannelTrace:
+    """Stack single-user ``(frames, sc, Nr, 1)`` traces into a MU-MIMO trace.
+
+    This reproduces the paper's 12x12 methodology: per-user uplink sounding
+    combined offline into a multi-user channel.
+    """
+    if not user_traces:
+        raise DimensionError("need at least one user trace")
+    reference = user_traces[0]
+    for trace in user_traces:
+        if trace.num_tx != 1:
+            raise DimensionError("each user trace must have Nt == 1")
+        if (
+            trace.num_frames != reference.num_frames
+            or trace.num_subcarriers != reference.num_subcarriers
+            or trace.num_rx != reference.num_rx
+        ):
+            raise DimensionError("user traces have mismatched dimensions")
+    stacked = np.concatenate([trace.response for trace in user_traces], axis=3)
+    metadata = {"combined_from": len(user_traces)}
+    metadata.update(reference.metadata)
+    return ChannelTrace(response=stacked, metadata=metadata)

@@ -1,0 +1,20 @@
+"""802.11-style channel coding: convolutional code, Viterbi, interleaving."""
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.crc import append_crc, check_crc, crc32_bits
+from repro.coding.interleaver import BlockInterleaver
+from repro.coding.puncturing import Puncturer, PUNCTURE_PATTERNS
+from repro.coding.scrambler import Scrambler
+from repro.coding.viterbi import ViterbiDecoder
+
+__all__ = [
+    "BlockInterleaver",
+    "ConvolutionalCode",
+    "PUNCTURE_PATTERNS",
+    "Puncturer",
+    "Scrambler",
+    "ViterbiDecoder",
+    "append_crc",
+    "check_crc",
+    "crc32_bits",
+]

@@ -1,0 +1,68 @@
+"""CRC-32 (IEEE 802.3/802.11 FCS) over bit arrays.
+
+Packets in the link simulator can carry a frame check sequence so the
+receiver detects residual errors the way a real 802.11 MAC does, instead
+of comparing against transmitted ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+_POLYNOMIAL = 0xEDB88320  # reflected CRC-32 polynomial
+
+
+def _build_table() -> np.ndarray:
+    table = np.empty(256, dtype=np.uint32)
+    for byte in range(256):
+        value = byte
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _POLYNOMIAL
+            else:
+                value >>= 1
+        table[byte] = value
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32_bits(bits: np.ndarray) -> np.ndarray:
+    """CRC-32 of a bit array, returned as 32 bits (LSB-first of the FCS).
+
+    The bit array is packed LSB-first per byte (802.11 transmission
+    order); trailing partial bytes are zero-padded, which is fine for the
+    simulator's integrity-check use.
+    """
+    bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+    if bits.size == 0:
+        raise DimensionError("crc32_bits needs at least one bit")
+    padded = np.zeros(-(-bits.size // 8) * 8, dtype=np.uint8)
+    padded[: bits.size] = bits
+    weights = (1 << np.arange(8)).astype(np.uint8)
+    packed = (padded.reshape(-1, 8) * weights).sum(axis=1).astype(np.uint8)
+
+    crc = np.uint32(0xFFFFFFFF)
+    for byte in packed:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> np.uint32(8))
+    crc = crc ^ np.uint32(0xFFFFFFFF)
+    return ((int(crc) >> np.arange(32)) & 1).astype(np.uint8)
+
+
+def append_crc(bits: np.ndarray) -> np.ndarray:
+    """Payload plus its 32-bit FCS."""
+    bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+    return np.concatenate([bits, crc32_bits(bits)])
+
+
+def check_crc(bits_with_crc: np.ndarray) -> bool:
+    """Validate a payload produced by :func:`append_crc`."""
+    bits_with_crc = np.asarray(bits_with_crc, dtype=np.uint8).reshape(-1)
+    if bits_with_crc.size <= 32:
+        raise DimensionError("frame shorter than its FCS")
+    payload = bits_with_crc[:-32]
+    expected = bits_with_crc[-32:]
+    return bool(np.array_equal(crc32_bits(payload), expected))

@@ -1,0 +1,99 @@
+"""802.11a-style block interleaver.
+
+Operates on one OFDM symbol's worth of coded bits (``N_cbps``) with the two
+standard permutations: the first spreads adjacent coded bits across
+non-adjacent subcarriers (16 columns), the second rotates bits across
+constellation bit positions so long runs of low-reliability LSBs are
+avoided (IEEE 802.11-2012 §18.3.5.7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+
+
+class BlockInterleaver:
+    """Bijective interleaver over blocks of ``block_size`` bits.
+
+    Parameters
+    ----------
+    block_size:
+        ``N_cbps``: coded bits per OFDM symbol (data subcarriers x bits per
+        subcarrier symbol).
+    bits_per_symbol:
+        ``N_bpsc``: coded bits per subcarrier (e.g. 6 for 64-QAM).
+    columns:
+        Requested number of interleaver columns; 16 in the standard.  If
+        it does not divide ``block_size`` (scaled-down simulation grids),
+        the largest divisor of ``block_size`` not exceeding the request
+        is used instead, preserving the permutation's structure.
+    """
+
+    def __init__(self, block_size: int, bits_per_symbol: int, columns: int = 16):
+        if block_size <= 0:
+            raise ConfigurationError(
+                f"block size must be positive, got {block_size}"
+            )
+        if columns <= 0:
+            raise ConfigurationError("columns must be positive")
+        if bits_per_symbol <= 0:
+            raise ConfigurationError("bits_per_symbol must be positive")
+        self.block_size = int(block_size)
+        self.bits_per_symbol = int(bits_per_symbol)
+        # The standard's two-permutation construction is only a bijection
+        # for standard (N_cbps, columns, s) combinations; scaled-down
+        # simulation grids can break it.  Fall back to fewer columns and,
+        # as a last resort, to the plain row-column interleave (s = 1),
+        # which is bijective for every divisor — including columns = 1.
+        permutation = None
+        chosen_columns = 1
+        standard_s = max(bits_per_symbol // 2, 1)
+        for s in (standard_s, 1):
+            for cols in range(columns, 0, -1):
+                if block_size % cols != 0:
+                    continue
+                candidate = self._build_permutation(cols, s)
+                if candidate is not None:
+                    permutation, chosen_columns = candidate, cols
+                    break
+            if permutation is not None:
+                break
+        self.columns = int(chosen_columns)
+        self.permutation = permutation
+        self.inverse_permutation = np.empty_like(self.permutation)
+        self.inverse_permutation[self.permutation] = np.arange(self.block_size)
+
+    def _build_permutation(self, cols: int, s: int) -> np.ndarray | None:
+        """The 802.11 two-step permutation, or None if not bijective."""
+        n = self.block_size
+        k = np.arange(n)
+        # First permutation: i = (N/cols)(k mod cols) + floor(k/cols).
+        first = (n // cols) * (k % cols) + k // cols
+        # Second permutation: j = s*floor(i/s) + (i + N - floor(cols i / N)) mod s
+        j = s * (first // s) + (first + n - (cols * first) // n) % s
+        if j.max() >= n or np.unique(j).size != n:
+            return None
+        permutation = np.empty(n, dtype=np.int64)
+        permutation[j] = k  # coded bit k lands at interleaved position j
+        return permutation
+
+    def interleave(self, bits: np.ndarray) -> np.ndarray:
+        """Permute each ``block_size`` chunk of the input."""
+        return self._apply(bits, self.permutation)
+
+    def deinterleave(self, bits: np.ndarray) -> np.ndarray:
+        """Invert :meth:`interleave`."""
+        return self._apply(bits, self.inverse_permutation)
+
+    def _apply(self, values: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        flat = values.reshape(-1)
+        if flat.size % self.block_size != 0:
+            raise DimensionError(
+                f"length {flat.size} is not a multiple of block size "
+                f"{self.block_size}"
+            )
+        blocks = flat.reshape(-1, self.block_size)
+        return blocks[:, permutation].reshape(values.shape)

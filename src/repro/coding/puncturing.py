@@ -1,0 +1,72 @@
+"""802.11 puncturing patterns on top of the rate-1/2 mother code.
+
+Puncturing deletes coded bits in a fixed periodic pattern to raise the code
+rate; depuncturing re-inserts metric-neutral erasures (LLR 0) so the Viterbi
+decoder can run on the original trellis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+
+#: Pattern entries are kept-bit masks over one puncturing period of the
+#: rate-1/2 coded stream, exactly as in IEEE 802.11-2012 §18.3.5.6.
+PUNCTURE_PATTERNS: dict[str, tuple[int, ...]] = {
+    "1/2": (1, 1),
+    "2/3": (1, 1, 1, 0),
+    "3/4": (1, 1, 1, 0, 0, 1),
+}
+
+
+class Puncturer:
+    """Periodic puncturer/depuncturer for a named 802.11 code rate."""
+
+    def __init__(self, rate: str = "1/2"):
+        if rate not in PUNCTURE_PATTERNS:
+            raise ConfigurationError(
+                f"unknown code rate {rate!r}; options: {sorted(PUNCTURE_PATTERNS)}"
+            )
+        self.rate_name = rate
+        self.pattern = np.array(PUNCTURE_PATTERNS[rate], dtype=bool)
+        numerator, denominator = (int(part) for part in rate.split("/"))
+        self.rate = numerator / denominator
+
+    def puncture(self, coded_bits: np.ndarray) -> np.ndarray:
+        """Drop the masked positions of a rate-1/2 coded stream."""
+        coded_bits = np.asarray(coded_bits).reshape(-1)
+        period = self.pattern.size
+        if coded_bits.size % period != 0:
+            raise DimensionError(
+                f"coded length {coded_bits.size} is not a multiple of the "
+                f"puncturing period {period}"
+            )
+        keep = np.tile(self.pattern, coded_bits.size // period)
+        return coded_bits[keep]
+
+    def depuncture(self, values: np.ndarray) -> np.ndarray:
+        """Re-insert zeros (erasures) at the punctured positions."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        period = self.pattern.size
+        kept_per_period = int(self.pattern.sum())
+        if values.size % kept_per_period != 0:
+            raise DimensionError(
+                f"punctured length {values.size} is not a multiple of "
+                f"{kept_per_period}"
+            )
+        periods = values.size // kept_per_period
+        out = np.zeros(periods * period, dtype=np.float64)
+        keep = np.tile(self.pattern, periods)
+        out[keep] = values
+        return out
+
+    def punctured_length(self, mother_coded_length: int) -> int:
+        """Coded bits surviving puncturing of a rate-1/2 stream."""
+        period = self.pattern.size
+        if mother_coded_length % period != 0:
+            raise DimensionError(
+                f"mother coded length {mother_coded_length} is not a "
+                f"multiple of the puncturing period {period}"
+            )
+        return mother_coded_length // period * int(self.pattern.sum())

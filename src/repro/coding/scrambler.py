@@ -1,0 +1,46 @@
+"""802.11 frame-synchronous scrambler (x^7 + x^4 + 1).
+
+The standard scrambles payload bits before convolutional encoding to
+whiten long runs; the paper's 802.11-style link inherits it.  Scrambling
+is an involution given the same seed, so one class serves both ends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Scrambler:
+    """Additive scrambler with the 802.11 polynomial.
+
+    Parameters
+    ----------
+    seed:
+        Initial 7-bit LFSR state (non-zero); 802.11 uses a pseudo-random
+        non-zero value per frame, 0x7F by convention here.
+    """
+
+    def __init__(self, seed: int = 0x7F):
+        if not 0 < seed < 128:
+            raise ConfigurationError("seed must be a non-zero 7-bit value")
+        self.seed = int(seed)
+
+    def keystream(self, length: int) -> np.ndarray:
+        """The scrambling sequence for ``length`` bits."""
+        state = self.seed
+        out = np.empty(length, dtype=np.uint8)
+        for position in range(length):
+            # Feedback: x^7 + x^4 + 1 -> bits 6 and 3 (0-based).
+            feedback = ((state >> 6) ^ (state >> 3)) & 1
+            out[position] = feedback
+            state = ((state << 1) | feedback) & 0x7F
+        return out
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """XOR the input with the keystream (self-inverse)."""
+        bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+        return bits ^ self.keystream(bits.size)
+
+    descramble = scramble  # additive scrambling is an involution

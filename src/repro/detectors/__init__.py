@@ -1,0 +1,35 @@
+"""MIMO detectors: the paper's baselines plus shared infrastructure.
+
+FlexCore itself lives in :mod:`repro.flexcore`; it implements the same
+:class:`~repro.detectors.base.Detector` interface so link-level harnesses
+can treat every scheme uniformly.
+"""
+
+from repro.detectors.base import DetectionResult, Detector
+from repro.detectors.fcsd import FcsdDetector
+from repro.detectors.kbest import KBestDetector
+from repro.detectors.kbest_adaptive import AdaptiveKBestDetector
+from repro.detectors.lattice import LrAidedZfDetector
+from repro.detectors.linear import MmseDetector, ZfDetector
+from repro.detectors.ml import MlDetector
+from repro.detectors.registry import available_detectors, make_detector
+from repro.detectors.sic import SicDetector
+from repro.detectors.sphere import SphereDecoder
+from repro.detectors.trellis import TrellisDetector
+
+__all__ = [
+    "AdaptiveKBestDetector",
+    "DetectionResult",
+    "Detector",
+    "FcsdDetector",
+    "KBestDetector",
+    "LrAidedZfDetector",
+    "MlDetector",
+    "MmseDetector",
+    "SicDetector",
+    "SphereDecoder",
+    "TrellisDetector",
+    "ZfDetector",
+    "available_detectors",
+    "make_detector",
+]

@@ -1,0 +1,107 @@
+"""The detector interface shared by every scheme in the reproduction.
+
+Detection splits into two phases mirroring the paper's architecture
+(Fig. 2):
+
+* :meth:`Detector.prepare` runs once per channel realisation (QR
+  decompositions, filter matrices, FlexCore pre-processing, ...) and
+  returns an opaque *channel context*;
+* :meth:`Detector.detect_prepared` maps a batch of received vectors to
+  hard symbol-index decisions using that context.
+
+The split matters because the channel is static over a packet (§5): one
+``prepare`` amortises over the 48 subcarriers x many OFDM symbols it
+serves, exactly like the paper's pre-processing that re-runs only when the
+channel changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.mimo.system import MimoSystem
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+
+@dataclass
+class DetectionResult:
+    """Hard decisions plus per-batch diagnostics.
+
+    Attributes
+    ----------
+    indices:
+        ``(n, Nt)`` detected constellation indices, original stream order.
+    metadata:
+        Scheme-specific extras (nodes visited, active processing elements,
+        per-vector minimum Euclidean distances, ...).
+    """
+
+    indices: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+
+class Detector(abc.ABC):
+    """Abstract base class for all hard-output MIMO detectors."""
+
+    #: Human-readable scheme name; subclasses override.
+    name: str = "detector"
+
+    def __init__(self, system: MimoSystem):
+        self.system = system
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def prepare(
+        self,
+        channel: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> Any:
+        """Per-channel work; returns a context for :meth:`detect_prepared`."""
+
+    @abc.abstractmethod
+    def detect_prepared(
+        self,
+        context: Any,
+        received: np.ndarray,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> DetectionResult:
+        """Detect a ``(n, Nr)`` batch using a prepared context."""
+
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        channel: np.ndarray,
+        received: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> DetectionResult:
+        """Convenience single-shot path: prepare then detect."""
+        context = self.prepare(channel, noise_var, counter=counter)
+        return self.detect_prepared(context, received, counter=counter)
+
+    # ------------------------------------------------------------------
+    def _check_channel(self, channel: np.ndarray) -> np.ndarray:
+        channel = np.asarray(channel)
+        expected = (self.system.num_rx_antennas, self.system.num_streams)
+        if channel.shape != expected:
+            raise DimensionError(
+                f"{self.name}: channel shape {channel.shape} != {expected}"
+            )
+        return channel
+
+    def _check_received(self, received: np.ndarray) -> np.ndarray:
+        received = np.asarray(received)
+        if received.ndim == 1:
+            received = received[None, :]
+        if received.ndim != 2 or received.shape[1] != self.system.num_rx_antennas:
+            raise DimensionError(
+                f"{self.name}: received shape {received.shape} is not "
+                f"(n, {self.system.num_rx_antennas})"
+            )
+        return received

@@ -1,0 +1,72 @@
+"""Linear detectors: zero-forcing and MMSE.
+
+These are the schemes Argos/BigStation/SAM rely on; they parallelise
+trivially (one filter multiply per subcarrier) but lose throughput when
+the channel is poorly conditioned — the gap FlexCore reclaims (§1, §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, Detector
+from repro.mimo.qr import mmse_filter, zf_filter
+from repro.mimo.system import MimoSystem
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+
+@dataclass
+class _LinearContext:
+    filter_matrix: np.ndarray  # (Nt, Nr)
+
+
+class _LinearDetector(Detector):
+    """Shared filter-then-slice machinery."""
+
+    def detect_prepared(
+        self,
+        context: _LinearContext,
+        received: np.ndarray,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> DetectionResult:
+        received = self._check_received(received)
+        estimates = received @ context.filter_matrix.T
+        num_streams = self.system.num_streams
+        counter.add_complex_mults(
+            received.shape[0] * num_streams * self.system.num_rx_antennas
+        )
+        indices = self.system.constellation.slice_to_index(estimates)
+        return DetectionResult(indices=indices)
+
+
+class ZfDetector(_LinearDetector):
+    """Zero-forcing (channel pseudo-inversion)."""
+
+    name = "zf"
+
+    def prepare(
+        self,
+        channel: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> _LinearContext:
+        channel = self._check_channel(channel)
+        return _LinearContext(filter_matrix=zf_filter(channel, counter=counter))
+
+
+class MmseDetector(_LinearDetector):
+    """Minimum mean-squared-error linear detection."""
+
+    name = "mmse"
+
+    def prepare(
+        self,
+        channel: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> _LinearContext:
+        channel = self._check_channel(channel)
+        matrix = mmse_filter(channel, noise_var, counter=counter)
+        return _LinearContext(filter_matrix=matrix)

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction with a single handler while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters."""
+
+
+class DimensionError(ReproError):
+    """An array argument has an incompatible shape or size."""
+
+
+class ConstellationError(ReproError):
+    """A constellation was requested that the library cannot build."""
+
+
+class DetectionError(ReproError):
+    """A detector could not produce an estimate for the given input."""
+
+
+class LinkSimulationError(ReproError):
+    """A link-level simulation was configured inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to assemble its result."""

@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run(profile) -> ExperimentResult``; the CLI
+(``python -m repro.experiments.runner``) and the benchmark suite drive
+them.  Monte-Carlo sizes come from the profile (``quick`` / ``medium`` /
+``full``; env var ``REPRO_PROFILE`` overrides the default).
+"""
+
+from repro.experiments.common import (
+    PROFILES,
+    ExperimentProfile,
+    ExperimentResult,
+    get_profile,
+)
+
+__all__ = [
+    "PROFILES",
+    "ExperimentProfile",
+    "ExperimentResult",
+    "get_profile",
+]

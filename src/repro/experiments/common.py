@@ -1,0 +1,190 @@
+"""Shared experiment infrastructure: profiles, result tables, persistence."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Monte-Carlo sizing for one run.
+
+    ``quick`` keeps every experiment in CI-friendly territory (seconds to a
+    couple of minutes), ``medium`` is what EXPERIMENTS.md records, ``full``
+    approaches the paper's statistical quality and runs for hours.
+    """
+
+    name: str
+    packets_per_point: int
+    calibration_packets: int
+    subcarriers: int
+    ofdm_symbols_per_packet: int
+    probability_trials: int
+    flops_trials: int
+    use_sphere_for_ml: bool
+    ml_proxy_paths: int
+    seed: int = 20170327  # NSDI'17 opening day
+
+    def scaled(self, factor: float) -> "ExperimentProfile":
+        """A profile with Monte-Carlo sizes scaled by ``factor``."""
+        return ExperimentProfile(
+            name=f"{self.name}x{factor:g}",
+            packets_per_point=max(1, int(self.packets_per_point * factor)),
+            calibration_packets=max(1, int(self.calibration_packets * factor)),
+            subcarriers=self.subcarriers,
+            ofdm_symbols_per_packet=self.ofdm_symbols_per_packet,
+            probability_trials=max(100, int(self.probability_trials * factor)),
+            flops_trials=max(1, int(self.flops_trials * factor)),
+            use_sphere_for_ml=self.use_sphere_for_ml,
+            ml_proxy_paths=self.ml_proxy_paths,
+            seed=self.seed,
+        )
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "quick": ExperimentProfile(
+        name="quick",
+        packets_per_point=12,
+        calibration_packets=12,
+        subcarriers=12,
+        ofdm_symbols_per_packet=2,
+        probability_trials=20_000,
+        flops_trials=50,
+        use_sphere_for_ml=False,
+        ml_proxy_paths=256,
+    ),
+    "medium": ExperimentProfile(
+        name="medium",
+        packets_per_point=60,
+        calibration_packets=48,
+        subcarriers=24,
+        ofdm_symbols_per_packet=4,
+        probability_trials=200_000,
+        flops_trials=300,
+        use_sphere_for_ml=False,
+        ml_proxy_paths=512,
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        packets_per_point=400,
+        calibration_packets=200,
+        subcarriers=48,
+        ofdm_symbols_per_packet=4,
+        probability_trials=2_000_000,
+        flops_trials=2000,
+        use_sphere_for_ml=True,
+        ml_proxy_paths=1024,
+    ),
+}
+
+
+def get_profile(profile: "str | ExperimentProfile | None" = None) -> ExperimentProfile:
+    """Resolve a profile argument (or the REPRO_PROFILE env var)."""
+    if isinstance(profile, ExperimentProfile):
+        return profile
+    name = profile or os.environ.get("REPRO_PROFILE", "quick")
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown profile {name!r}; options: {sorted(PROFILES)}"
+        ) from None
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows of dicts plus provenance."""
+
+    experiment: str
+    title: str
+    profile: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        missing = [column for column in self.columns if column not in values]
+        if missing:
+            raise ExperimentError(
+                f"{self.experiment}: row missing columns {missing}"
+            )
+        self.rows.append({column: values[column] for column in self.columns})
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    def to_text_table(self) -> str:
+        """Render as a fixed-width text table (what the CLI prints)."""
+
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                if value == 0 or 1e-3 <= abs(value) < 1e6:
+                    return f"{value:.4g}"
+                return f"{value:.3e}"
+            return str(value)
+
+        header = [str(column) for column in self.columns]
+        body = [[fmt(row[column]) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body))
+            if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"# {self.title} (profile: {self.profile})",
+            "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+            "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for line in body:
+            lines.append(
+                "  ".join(line[i].ljust(widths[i]) for i in range(len(header)))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save_json(self, path: "str | Path") -> None:
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "profile": self.profile,
+            "columns": self.columns,
+            "rows": _jsonable(self.rows),
+            "notes": self.notes,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def filtered(self, **predicate) -> list:
+        """Rows matching all given column=value pairs."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in predicate.items())
+        ]
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    return value

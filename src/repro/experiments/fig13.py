@@ -1,0 +1,128 @@
+"""Fig. 13: FPGA energy efficiency vs instantiated processing elements.
+
+For detection operating points that deliver the *same network throughput*
+(from Fig. 9: FlexCore 32 paths ~ FCSD 64 paths at L=1; FlexCore 128 ~
+FCSD 4096 at L=2), sweep the number of instantiated PEs ``M`` and report
+Joules/bit of the pipelined engines at the 5.5 ns design point —
+instantiated up to the paper's host-memory limits, extrapolated to the
+75% device-utilisation cap beyond.
+
+Reproduced claims: J/bit falls with M for both engines; FCSD needs on
+average ~1.5x (Nt=8, L=1) up to ~29x (Nt=12, L=2) more J/bit; FlexCore
+reaches ~13 Gb/s processing throughput at M=32 for 32 paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, get_profile
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.parallel.fpga import (
+    FCSD_COST_MODEL,
+    FLEXCORE_COST_MODEL,
+    FpgaEngineModel,
+)
+
+#: (Nt, L) -> (FlexCore paths, FCSD paths) with equal network throughput
+#: per Fig. 9 (§5.3's pairing).
+EQUIVALENT_PATHS = {
+    (8, 1): (32, 64),
+    (12, 1): (32, 64),
+    (12, 2): (128, 4096),
+}
+
+#: Host-memory limits on instantiated PEs reported in §5.3.
+INSTANTIATED_LIMITS = {"flexcore": 32, "fcsd_8": 64, "fcsd_12": 32}
+
+
+def _pe_sweep(limit: int) -> list[int]:
+    sweep = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+    return [m for m in sweep if m <= limit]
+
+
+def run(profile=None) -> ExperimentResult:
+    profile = get_profile(profile)
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Fig. 13: FPGA energy efficiency at equal network throughput "
+        "(64-QAM)",
+        profile=profile.name,
+        columns=[
+            "scheme",
+            "system",
+            "expansion",
+            "num_paths",
+            "num_pes",
+            "extrapolated",
+            "throughput_gbps",
+            "joules_per_bit",
+        ],
+    )
+    for (num_streams, level), (flex_paths, fcsd_paths) in EQUIVALENT_PATHS.items():
+        system = MimoSystem(num_streams, num_streams, QamConstellation(64))
+        engines = {
+            "flexcore": (FpgaEngineModel(FLEXCORE_COST_MODEL, system), flex_paths,
+                         INSTANTIATED_LIMITS["flexcore"]),
+            "fcsd": (FpgaEngineModel(FCSD_COST_MODEL, system), fcsd_paths,
+                     INSTANTIATED_LIMITS[f"fcsd_{num_streams}"]),
+        }
+        for scheme, (engine, paths, instantiated_limit) in engines.items():
+            cap = engine.max_instantiable_pes()
+            for num_pes in _pe_sweep(cap):
+                result.add_row(
+                    scheme=scheme,
+                    system=f"{num_streams}x{num_streams}",
+                    expansion=level,
+                    num_paths=paths,
+                    num_pes=num_pes,
+                    extrapolated=num_pes > instantiated_limit,
+                    throughput_gbps=engine.processing_throughput_bps(
+                        num_pes, paths
+                    )
+                    / 1e9,
+                    joules_per_bit=engine.energy_per_bit(num_pes, paths),
+                )
+    # Headline ratio notes.
+    def average_ratio(num_streams: int, level: int) -> float:
+        flex = [
+            row
+            for row in result.rows
+            if row["scheme"] == "flexcore"
+            and row["system"] == f"{num_streams}x{num_streams}"
+            and row["expansion"] == level
+        ]
+        fcsd = {
+            row["num_pes"]: row
+            for row in result.rows
+            if row["scheme"] == "fcsd"
+            and row["system"] == f"{num_streams}x{num_streams}"
+            and row["expansion"] == level
+        }
+        ratios = [
+            fcsd[row["num_pes"]]["joules_per_bit"] / row["joules_per_bit"]
+            for row in flex
+            if row["num_pes"] in fcsd
+        ]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    result.add_note(
+        f"average FCSD/FlexCore J-per-bit ratio: "
+        f"{average_ratio(8, 1):.2f}x (8x8, L=1; paper 1.54x), "
+        f"{average_ratio(12, 2):.2f}x (12x12, L=2; paper 28.8x)"
+    )
+    flex32 = [
+        row
+        for row in result.rows
+        if row["scheme"] == "flexcore"
+        and row["system"] == "12x12"
+        and row["expansion"] == 1
+        and row["num_pes"] == 32
+    ]
+    if flex32:
+        result.add_note(
+            f"FlexCore 32 PEs / 32 paths processing throughput: "
+            f"{flex32[0]['throughput_gbps']:.2f} Gb/s (paper: 13.09)"
+        )
+    return result

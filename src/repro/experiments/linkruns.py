@@ -1,0 +1,112 @@
+"""Shared link-simulation plumbing for the throughput experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.testbed import IndoorTestbed
+from repro.detectors.base import Detector
+from repro.detectors.sphere import SphereDecoder
+from repro.experiments.common import ExperimentProfile
+from repro.flexcore.detector import FlexCoreDetector
+from repro.link.calibration import find_snr_for_per
+from repro.link.channels import rayleigh_sampler, testbed_sampler
+from repro.link.config import LinkConfig
+from repro.link.simulation import LinkResult, simulate_link
+from repro.mimo.system import MimoSystem
+
+
+def make_link_config(
+    system: MimoSystem, profile: ExperimentProfile
+) -> LinkConfig:
+    """Profile-sized link configuration for ``system``."""
+    return LinkConfig(
+        system=system,
+        ofdm_symbols_per_packet=profile.ofdm_symbols_per_packet,
+        num_subcarriers=profile.subcarriers,
+    )
+
+
+def make_sampler_factory(
+    config: LinkConfig,
+    profile: ExperimentProfile,
+    channel_kind: str = "testbed",
+    seed_offset: int = 0,
+):
+    """Zero-arg factory returning a fresh (but deterministic) sampler."""
+    seed = profile.seed + seed_offset
+
+    def factory():
+        if channel_kind == "rayleigh":
+            return rayleigh_sampler(config)
+        testbed = IndoorTestbed(
+            num_rx=config.system.num_rx_antennas, rng=seed
+        )
+        return testbed_sampler(config, testbed, num_frames=8)
+
+    return factory
+
+
+def ml_reference_detector(
+    system: MimoSystem, profile: ExperimentProfile
+) -> Detector:
+    """The exact/near-exact ML reference used for SNR calibration.
+
+    The ``full`` profile uses the exact-ML sphere decoder; cheaper
+    profiles use a large-path FlexCore proxy, which Fig. 9 shows to be
+    within a whisker of ML while running orders of magnitude faster here
+    (vectorised).  The substitution is recorded in the experiment notes.
+    """
+    if profile.use_sphere_for_ml:
+        return SphereDecoder(system)
+    proxy_paths = min(profile.ml_proxy_paths, system.num_leaves)
+    return FlexCoreDetector(system, num_paths=proxy_paths)
+
+
+def calibrate_ml_snr(
+    system: MimoSystem,
+    target_per: float,
+    profile: ExperimentProfile,
+    channel_kind: str = "testbed",
+) -> float:
+    """SNR (dB) at which the ML reference hits ``target_per``."""
+    config = make_link_config(system, profile)
+    detector = ml_reference_detector(system, profile)
+    factory = make_sampler_factory(config, profile, channel_kind)
+    result = find_snr_for_per(
+        config,
+        detector,
+        target_per,
+        factory,
+        num_packets=profile.calibration_packets,
+        seed=profile.seed,
+    )
+    return result.snr_db
+
+
+def run_point(
+    config: LinkConfig,
+    detector: Detector,
+    snr_db: float,
+    profile: ExperimentProfile,
+    sampler_factory,
+    seed_offset: int = 0,
+) -> LinkResult:
+    """One PER/throughput measurement with common random numbers."""
+    return simulate_link(
+        config,
+        detector,
+        snr_db,
+        profile.packets_per_point,
+        sampler_factory(),
+        rng=profile.seed + seed_offset,
+    )
+
+
+def flexcore_pe_sweep(max_paths: int, profile: ExperimentProfile) -> list[int]:
+    """The processing-element counts Fig. 9's x-axis sweeps."""
+    if profile.name.startswith("quick"):
+        sweep = [1, 4, 16, 64, 196]
+    else:
+        sweep = [1, 2, 4, 8, 16, 32, 64, 128, 196]
+    return [count for count in sweep if count <= max_paths]

@@ -1,0 +1,97 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.runner --experiment fig9 --profile quick
+    python -m repro.experiments.runner --all --out results/
+
+Each experiment prints its table to stdout and optionally saves JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments import get_profile
+from repro.experiments import (
+    ablations,
+    soft_gain,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table2,
+    table3,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "ablations": ablations.run,
+    "soft_gain": soft_gain.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate FlexCore (NSDI'17) tables and figures."
+    )
+    parser.add_argument(
+        "--experiment",
+        choices=sorted(EXPERIMENTS),
+        help="single experiment to run",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="quick | medium | full (default: REPRO_PROFILE or quick)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for JSON results"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.all and not args.experiment:
+        parser.error("choose --experiment NAME or --all")
+    names = sorted(EXPERIMENTS) if args.all else [args.experiment]
+    profile = get_profile(args.profile)
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        started = time.perf_counter()
+        try:
+            result = EXPERIMENTS[name](profile)
+        except ExperimentError as error:
+            print(f"{name}: FAILED — {error}", file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        print(result.to_text_table())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+        if out_dir:
+            result.save_json(out_dir / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

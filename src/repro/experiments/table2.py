@@ -1,0 +1,103 @@
+"""Table 2: pre-processing / detection complexity and parallelizability.
+
+Counts real multiplications for (a) the channel-triggered QR / channel
+inversion, (b) FlexCore's pre-processing tree search and (c) FlexCore's
+parallel detection — for 8x8 and 12x12 64-QAM at N_PE in {32, 128} — plus
+the parallelizability row (pre-processing parallelises in batches of
+N_PE/10 per §3.1.1; detection is one path per PE).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.fading import rayleigh_channel
+from repro.experiments.common import ExperimentResult, get_profile
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.modulation.mapper import random_symbol_indices
+from repro.utils.flops import FlopCounter
+from repro.utils.rng import as_rng
+
+SNR_DB = 21.6  # the paper's 64-QAM PER_ML = 0.01 operating point
+PAPER = {
+    (8, 32): {"preproc": 102, "detect": 4608},
+    (8, 128): {"preproc": 301, "detect": 18432},
+    (12, 32): {"preproc": 136, "detect": 9984},
+    (12, 128): {"preproc": 391, "detect": 39936},
+}
+
+
+def measure_complexity(
+    num_streams: int, num_paths: int, trials: int, seed: int
+) -> dict:
+    """Average pre-processing and per-vector detection multiplications."""
+    generator = as_rng(seed)
+    system = MimoSystem(num_streams, num_streams, QamConstellation(64))
+    noise_var = noise_variance_for_snr_db(SNR_DB)
+    detector = FlexCoreDetector(system, num_paths=num_paths)
+    preproc_mults = 0
+    detect_mults = 0
+    vectors = 0
+    for _ in range(trials):
+        channel = rayleigh_channel(num_streams, num_streams, generator)
+        context = detector.prepare(channel, noise_var)
+        preproc_mults += context.preprocessing.real_multiplications
+        indices = random_symbol_indices(2, num_streams, system.constellation, generator)
+        received = apply_channel(
+            channel, system.constellation.points[indices], noise_var, generator
+        )
+        counter = FlopCounter()
+        detector.detect_prepared(context, received, counter=counter)
+        detect_mults += counter.real_mults
+        vectors += indices.shape[0]
+    return {
+        "preproc": preproc_mults / trials,
+        "detect": detect_mults / vectors,
+    }
+
+
+def run(profile=None) -> ExperimentResult:
+    profile = get_profile(profile)
+    result = ExperimentResult(
+        experiment="table2",
+        title="Table 2: complexity in real multiplications and "
+        "parallelizability (64-QAM)",
+        profile=profile.name,
+        columns=[
+            "system",
+            "num_pes",
+            "qr_mults",
+            "preproc_mults",
+            "detect_mults",
+            "preproc_parallel",
+            "detect_parallel",
+            "paper_preproc",
+            "paper_detect",
+        ],
+    )
+    trials = max(10, profile.flops_trials // 10)
+    for num_streams in (8, 12):
+        for num_pes in (32, 128):
+            measured = measure_complexity(
+                num_streams, num_pes, trials, profile.seed + num_streams + num_pes
+            )
+            paper = PAPER[(num_streams, num_pes)]
+            result.add_row(
+                system=f"{num_streams}x{num_streams}",
+                num_pes=num_pes,
+                qr_mults=4 * num_streams**3,
+                preproc_mults=measured["preproc"],
+                detect_mults=measured["detect"],
+                preproc_parallel=max(num_pes // 10, 1),
+                detect_parallel=num_pes,
+                paper_preproc=paper["preproc"],
+                paper_detect=paper["detect"],
+            )
+    result.add_note(
+        "QR cost uses the paper's ~4*Nt^3 real-multiplication convention; "
+        "pre-processing parallelizability is N_PE/10 (the §3.1.1 batch rule)"
+    )
+    return result

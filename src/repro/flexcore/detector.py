@@ -1,0 +1,229 @@
+"""FlexCore's parallel detection engine (§3.2, Fig. 2).
+
+Each position vector selected by pre-processing maps to one processing
+element, which walks its tree path from the top level down: compute the
+effective received point (Eq. 5), pick the ``p(l)``-th closest symbol via
+the triangle LUT, accumulate the partial Euclidean distance (Eq. 1).  No
+processing element communicates with any other until the final minimum —
+the "nearly embarrassingly parallel" property.  This implementation
+vectorises that independence across (received vectors x paths).
+
+A processing element whose LUT lookup leaves the constellation is
+*deactivated* (its distance becomes infinite), per §3.2.  Rank-1 lookups
+never deactivate (the detection square is clamped inside the
+constellation), so the all-ones path always survives and a decision is
+always produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detectors.base import DetectionResult, Detector
+from repro.errors import ConfigurationError
+from repro.flexcore.ordering import TriangleOrdering
+from repro.flexcore.preprocessing import PreprocessingResult, find_promising_paths
+from repro.flexcore.probability import LevelErrorModel
+from repro.mimo.qr import QrDecomposition, fcsd_sorted_qr, plain_qr, sorted_qr
+from repro.mimo.system import MimoSystem
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+#: Bound on (batch-chunk x paths) live elements.
+MAX_CHUNK_ELEMENTS = 1 << 18
+
+
+@dataclass
+class FlexCoreContext:
+    """Per-channel state produced by :meth:`FlexCoreDetector.prepare`."""
+
+    qr: QrDecomposition
+    diag: np.ndarray
+    weights: np.ndarray
+    preprocessing: PreprocessingResult
+    active_paths: int
+
+    @property
+    def position_vectors(self) -> np.ndarray:
+        return self.preprocessing.position_vectors[: self.active_paths]
+
+
+class FlexCoreDetector(Detector):
+    """The FlexCore detector.
+
+    Parameters
+    ----------
+    system:
+        MIMO system description.
+    num_paths:
+        ``N_PE``: processing elements available.  Any positive integer —
+        the flexibility FCSD lacks.
+    qr_method:
+        ``"sorted"`` (Wübben, default), ``"fcsd"`` or ``"plain"``; §5.1
+        evaluates both sorted variants and keeps the better.
+    ordering:
+        Optional pre-built :class:`TriangleOrdering` (shared across
+        detectors to amortise the offline LUT).
+    use_exact_ordering:
+        Replace the LUT with exhaustive per-level sorting — the ablation
+        quantifying what the approximation costs.
+    stop_threshold:
+        Optional pre-processing stopping criterion (cumulative ``Pc``).
+    pe_formula:
+        ``"corrected"`` (default) or ``"paper"`` — see
+        :mod:`repro.flexcore.probability`.
+    batch_expansion:
+        Pre-processing parallel-expansion batch size.
+    """
+
+    name = "flexcore"
+
+    def __init__(
+        self,
+        system: MimoSystem,
+        num_paths: int,
+        qr_method: str = "sorted",
+        ordering: TriangleOrdering | None = None,
+        use_exact_ordering: bool = False,
+        stop_threshold: float | None = None,
+        pe_formula: str = "corrected",
+        batch_expansion: int = 1,
+    ):
+        super().__init__(system)
+        if num_paths <= 0:
+            raise ConfigurationError("num_paths must be positive")
+        if qr_method not in ("sorted", "fcsd", "plain"):
+            raise ConfigurationError(f"unknown qr_method {qr_method!r}")
+        self.num_paths = int(num_paths)
+        self.qr_method = qr_method
+        self.use_exact_ordering = bool(use_exact_ordering)
+        self.stop_threshold = stop_threshold
+        self.pe_formula = pe_formula
+        self.batch_expansion = int(batch_expansion)
+        self.ordering = ordering or TriangleOrdering(system.constellation)
+
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        channel: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> FlexCoreContext:
+        channel = self._check_channel(channel)
+        if self.qr_method == "sorted":
+            qr = sorted_qr(channel, counter=counter)
+        elif self.qr_method == "fcsd":
+            qr = fcsd_sorted_qr(channel, 1, noise_var, counter=counter)
+        else:
+            qr = plain_qr(channel, counter=counter)
+        model = LevelErrorModel.from_channel(
+            qr.r, noise_var, self.system.constellation, formula=self.pe_formula
+        )
+        preprocessing = find_promising_paths(
+            model,
+            num_paths=self.num_paths,
+            max_rank=self.system.constellation.order,
+            stop_threshold=self.stop_threshold,
+            batch_size=self.batch_expansion,
+            counter=counter,
+        )
+        diag = np.real(np.diagonal(qr.r)).copy()
+        return FlexCoreContext(
+            qr=qr,
+            diag=diag,
+            weights=diag**2,
+            preprocessing=preprocessing,
+            active_paths=preprocessing.position_vectors.shape[0],
+        )
+
+    # ------------------------------------------------------------------
+    def detect_prepared(
+        self,
+        context: FlexCoreContext,
+        received: np.ndarray,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> DetectionResult:
+        received = self._check_received(received)
+        rotated = context.qr.rotate_received(received)
+        paths = context.position_vectors.shape[0]
+        chunk = max(1, MAX_CHUNK_ELEMENTS // max(paths, 1))
+        pieces = []
+        deactivated = 0
+        for start in range(0, rotated.shape[0], chunk):
+            block = rotated[start : start + chunk]
+            indices, dead = self._detect_chunk(context, block, counter)
+            pieces.append(indices)
+            deactivated += dead
+        indices = np.concatenate(pieces, axis=0)
+        restored = context.qr.restore_order(indices)
+        return DetectionResult(
+            indices=restored,
+            metadata={
+                "paths": paths,
+                "deactivated_path_evaluations": deactivated,
+            },
+        )
+
+    def _detect_chunk(
+        self,
+        context: FlexCoreContext,
+        rotated: np.ndarray,
+        counter: FlopCounter,
+    ) -> tuple[np.ndarray, int]:
+        constellation = self.system.constellation
+        points = constellation.points
+        num_streams = self.system.num_streams
+        batch = rotated.shape[0]
+        position_vectors = context.position_vectors  # (P, Nt)
+        paths = position_vectors.shape[0]
+        r = context.qr.r
+
+        symbols = np.zeros((batch, paths, num_streams), dtype=np.complex128)
+        indices = np.zeros((batch, paths, num_streams), dtype=np.int64)
+        ped = np.zeros((batch, paths))
+        alive = np.ones((batch, paths), dtype=bool)
+
+        for level in range(num_streams - 1, -1, -1):
+            if level + 1 < num_streams:
+                interference = symbols[:, :, level + 1 :] @ r[level, level + 1 :]
+            else:
+                interference = np.zeros((batch, paths))
+            effective = (
+                rotated[:, level][:, None] - interference
+            ) / context.diag[level]
+            ranks = np.broadcast_to(
+                position_vectors[:, level][None, :], (batch, paths)
+            )
+            if self.use_exact_ordering:
+                level_indices = self._exact_kth(effective, ranks)
+            else:
+                level_indices = self.ordering.kth_symbol_indices(
+                    effective, ranks
+                )
+            dead = level_indices < 0
+            alive &= ~dead
+            safe_indices = np.where(dead, 0, level_indices)
+            symbols[:, :, level] = points[safe_indices]
+            indices[:, :, level] = safe_indices
+            ped += context.weights[level] * (
+                np.abs(effective - symbols[:, :, level]) ** 2
+            )
+            counter.add_complex_mults(batch * paths * (num_streams - 1 - level))
+            counter.add_real_mults(batch * paths * 5)
+        ped[~alive] = np.inf
+        best = np.argmin(ped, axis=1)
+        chosen = np.take_along_axis(indices, best[:, None, None], axis=1)[
+            :, 0, :
+        ]
+        deactivated = int(np.count_nonzero(~alive))
+        return chosen, deactivated
+
+    def _exact_kth(
+        self, effective: np.ndarray, ranks: np.ndarray
+    ) -> np.ndarray:
+        """Exhaustive k-th-closest lookup (ablation reference)."""
+        points = self.system.constellation.points
+        distances = np.abs(effective[..., None] - points) ** 2
+        order = np.argsort(distances, axis=-1)
+        return np.take_along_axis(order, ranks[..., None] - 1, axis=-1)[..., 0]

@@ -1,0 +1,224 @@
+"""Soft-output FlexCore (the §7 "promising next step", implemented).
+
+The paper's conclusion names extending FlexCore to soft detectors as
+future work (citing [7, 43]).  The natural construction — used by every
+list-based soft MIMO detector — falls out of FlexCore's architecture for
+free: the ``N_PE`` evaluated tree paths form a candidate list, and
+max-log LLRs come from comparing the best candidate metric under each
+bit hypothesis:
+
+    LLR_i = ( min_{s in E: bit_i(s)=1} ||y - Hs||^2
+            - min_{s in E: bit_i(s)=0} ||y - Hs||^2 ) / sigma^2
+
+Positive LLR favours bit 0, matching :mod:`repro.coding.viterbi`.  When a
+hypothesis is absent from the list (all candidates agree on a bit) the
+LLR clamps to ``+-llr_clip`` — the standard list-detector fallback.
+
+Since the per-path Euclidean distances are already computed by the hard
+detector, soft output costs only the bit-wise minima — preserving the
+embarrassing parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.flexcore.detector import FlexCoreContext, FlexCoreDetector
+from repro.utils.bits import ints_to_bits
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+#: Bound on (batch-chunk x paths) live elements, matching the hard path.
+MAX_CHUNK_ELEMENTS = 1 << 18
+
+
+@dataclass
+class SoftDetectionResult:
+    """Hard decisions plus per-bit log-likelihood ratios.
+
+    Attributes
+    ----------
+    indices:
+        ``(n, Nt)`` hard symbol decisions (identical to the hard detector).
+    llrs:
+        ``(n, Nt * bits_per_symbol)`` max-log LLRs, stream-major: the
+        first ``bits_per_symbol`` entries belong to stream 0.
+    metadata:
+        Diagnostics (clamped-bit counts, paths).
+    """
+
+    indices: np.ndarray
+    llrs: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+
+class SoftFlexCoreDetector(FlexCoreDetector):
+    """FlexCore with max-log soft output from its candidate list.
+
+    Parameters
+    ----------
+    llr_clip:
+        Magnitude assigned when a bit hypothesis has no candidate among
+        the evaluated paths, and the saturation bound for all LLRs.  The
+        default (4.0) keeps clamped bits from out-shouting genuinely
+        measured ones — the usual small-list calibration; raising it
+        degrades coded performance at low SNR (see the soft_gain
+        experiment).
+    """
+
+    name = "soft-flexcore"
+
+    def __init__(self, system, num_paths, llr_clip: float = 4.0, **kwargs):
+        super().__init__(system, num_paths, **kwargs)
+        if llr_clip <= 0:
+            raise ConfigurationError("llr_clip must be positive")
+        self.llr_clip = float(llr_clip)
+        constellation = system.constellation
+        # bits_of_index[q, b]: the b-th bit of symbol index q.
+        self._bits_of_index = ints_to_bits(
+            np.arange(constellation.order), constellation.bits_per_symbol
+        ).reshape(constellation.order, constellation.bits_per_symbol)
+
+    # ------------------------------------------------------------------
+    def detect_soft_prepared(
+        self,
+        context: FlexCoreContext,
+        received: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> SoftDetectionResult:
+        """Soft detection over a prepared channel context."""
+        received = self._check_received(received)
+        rotated = context.qr.rotate_received(received)
+        paths = max(context.position_vectors.shape[0], 1)
+        chunk = max(1, MAX_CHUNK_ELEMENTS // paths)
+        all_indices = []
+        all_llrs = []
+        clamped = 0
+        for start in range(0, rotated.shape[0], chunk):
+            block = rotated[start : start + chunk]
+            indices, llrs, block_clamped = self._detect_soft_chunk(
+                context, block, noise_var, counter
+            )
+            all_indices.append(indices)
+            all_llrs.append(llrs)
+            clamped += block_clamped
+        indices = np.concatenate(all_indices, axis=0)
+        llrs = np.concatenate(all_llrs, axis=0)
+        return SoftDetectionResult(
+            indices=context.qr.restore_order(indices),
+            llrs=self._restore_llr_order(context, llrs),
+            metadata={
+                "paths": paths,
+                "clamped_bits": clamped,
+            },
+        )
+
+    def detect_soft(
+        self,
+        channel: np.ndarray,
+        received: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> SoftDetectionResult:
+        """Single-shot convenience: prepare then soft-detect."""
+        context = self.prepare(channel, noise_var, counter=counter)
+        return self.detect_soft_prepared(
+            context, received, noise_var, counter=counter
+        )
+
+    # ------------------------------------------------------------------
+    def _candidate_list(
+        self,
+        context: FlexCoreContext,
+        rotated: np.ndarray,
+        counter: FlopCounter,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Indices ``(n, P, Nt)`` and PEDs ``(n, P)`` of all paths.
+
+        This repeats the hard detector's vectorised walk but keeps every
+        path's leaf instead of only the argmin.
+        """
+        constellation = self.system.constellation
+        points = constellation.points
+        num_streams = self.system.num_streams
+        batch = rotated.shape[0]
+        position_vectors = context.position_vectors
+        paths = position_vectors.shape[0]
+        r = context.qr.r
+
+        symbols = np.zeros((batch, paths, num_streams), dtype=np.complex128)
+        indices = np.zeros((batch, paths, num_streams), dtype=np.int64)
+        ped = np.zeros((batch, paths))
+        alive = np.ones((batch, paths), dtype=bool)
+        for level in range(num_streams - 1, -1, -1):
+            if level + 1 < num_streams:
+                interference = symbols[:, :, level + 1 :] @ r[level, level + 1 :]
+            else:
+                interference = np.zeros((batch, paths))
+            effective = (
+                rotated[:, level][:, None] - interference
+            ) / context.diag[level]
+            ranks = np.broadcast_to(
+                position_vectors[:, level][None, :], (batch, paths)
+            )
+            level_indices = self.ordering.kth_symbol_indices(effective, ranks)
+            dead = level_indices < 0
+            alive &= ~dead
+            safe = np.where(dead, 0, level_indices)
+            symbols[:, :, level] = points[safe]
+            indices[:, :, level] = safe
+            ped += context.weights[level] * (
+                np.abs(effective - symbols[:, :, level]) ** 2
+            )
+            counter.add_complex_mults(batch * paths * (num_streams - 1 - level))
+            counter.add_real_mults(batch * paths * 5)
+        ped[~alive] = np.inf
+        return indices, ped
+
+    def _detect_soft_chunk(
+        self,
+        context: FlexCoreContext,
+        rotated: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        indices, ped = self._candidate_list(context, rotated, counter)
+        batch, paths, num_streams = indices.shape
+        bits_per_symbol = self.system.constellation.bits_per_symbol
+
+        best = np.argmin(ped, axis=1)
+        hard = np.take_along_axis(indices, best[:, None, None], axis=1)[:, 0, :]
+
+        # candidate_bits: (batch, paths, Nt * bps) in {0, 1}.
+        candidate_bits = (
+            self._bits_of_index[indices]
+            .reshape(batch, paths, num_streams * bits_per_symbol)
+            .astype(bool)
+        )
+        ped_expanded = ped[:, :, None]
+        min_if_one = np.where(candidate_bits, ped_expanded, np.inf).min(axis=1)
+        min_if_zero = np.where(~candidate_bits, ped_expanded, np.inf).min(axis=1)
+        with np.errstate(invalid="ignore"):
+            llrs = (min_if_one - min_if_zero) / noise_var
+        missing_one = ~np.isfinite(min_if_one)
+        missing_zero = ~np.isfinite(min_if_zero)
+        llrs = np.where(missing_one, self.llr_clip, llrs)
+        llrs = np.where(missing_zero, -self.llr_clip, llrs)
+        llrs = np.clip(llrs, -self.llr_clip, self.llr_clip)
+        clamped = int(np.count_nonzero(missing_one | missing_zero))
+        counter.add_comparisons(batch * paths * num_streams * bits_per_symbol)
+        return hard, llrs, clamped
+
+    def _restore_llr_order(
+        self, context: FlexCoreContext, llrs: np.ndarray
+    ) -> np.ndarray:
+        """Un-permute the per-stream LLR groups to original stream order."""
+        bits_per_symbol = self.system.constellation.bits_per_symbol
+        num_streams = self.system.num_streams
+        grouped = llrs.reshape(llrs.shape[0], num_streams, bits_per_symbol)
+        restored = np.empty_like(grouped)
+        restored[:, context.qr.permutation, :] = grouped
+        return restored.reshape(llrs.shape[0], num_streams * bits_per_symbol)

@@ -1,0 +1,64 @@
+"""Channel samplers plugging channel models into the link simulator.
+
+``simulate_link`` expects a callable ``(packet_index, rng) ->
+(subcarriers, Nr, Nt)``; these adapters provide the two sources the paper
+uses: i.i.d. Rayleigh (simulation) and testbed traces (§5.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.fading import rayleigh_channels
+from repro.channel.testbed import IndoorTestbed
+from repro.channel.traces import ChannelTrace
+from repro.errors import DimensionError
+from repro.link.config import LinkConfig
+
+
+def rayleigh_sampler(config: LinkConfig):
+    """Fresh i.i.d. Rayleigh channel per packet, flat across subcarriers?
+
+    No — each subcarrier gets an independent draw, the harshest (fully
+    frequency-selective) case and the standard simulation assumption of
+    the sphere-decoding literature the paper builds on.
+    """
+    num_sc = config.subcarriers_used
+    num_rx = config.system.num_rx_antennas
+    num_tx = config.system.num_streams
+
+    def sample(packet_index: int, rng) -> np.ndarray:
+        return rayleigh_channels(num_sc, num_rx, num_tx, rng)
+
+    return sample
+
+
+def trace_sampler(config: LinkConfig, trace: ChannelTrace):
+    """Cycle through the frames of a recorded/synthesised trace."""
+    num_sc = config.subcarriers_used
+    if trace.num_subcarriers < num_sc:
+        raise DimensionError(
+            f"trace has {trace.num_subcarriers} subcarriers, need {num_sc}"
+        )
+    if (
+        trace.num_rx != config.system.num_rx_antennas
+        or trace.num_tx != config.system.num_streams
+    ):
+        raise DimensionError("trace antenna dimensions do not match config")
+
+    def sample(packet_index: int, rng) -> np.ndarray:
+        frame = trace.frame(packet_index % trace.num_frames)
+        return frame[:num_sc]
+
+    return sample
+
+
+def testbed_sampler(config: LinkConfig, testbed: IndoorTestbed, num_frames: int = 16):
+    """Generate a testbed trace up front and serve frames from it."""
+    trace = testbed.generate_uplink_trace(
+        num_users=config.system.num_streams,
+        num_frames=num_frames,
+        num_subcarriers=config.subcarriers_used,
+        fft_size=config.ofdm.fft_size,
+    )
+    return trace_sampler(config, trace)

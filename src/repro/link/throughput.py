@@ -1,0 +1,37 @@
+"""Throughput accounting (the y-axis of Figs. 9 and 10).
+
+Network throughput is aggregate goodput: each of the ``N`` users sustains
+its PHY rate scaled by packet delivery, ``N x rate x (1 - PER)``.  The
+PHY rate follows the 802.11 numerology (48 data subcarriers, 4 µs
+symbols): 24 Mbit/s per user for 16-QAM r=1/2 and 36 Mbit/s for 64-QAM
+r=1/2 — so a fully-loaded 12-user 64-QAM AP tops out at 432 Mbit/s, the
+scale of the paper's Fig. 9 bottom-right panel.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.ofdm.params import OfdmParams, WIFI_20MHZ
+
+
+def user_phy_rate_bps(
+    system: MimoSystem,
+    code_rate: float,
+    ofdm: OfdmParams = WIFI_20MHZ,
+) -> float:
+    """Per-user PHY information rate in bit/s."""
+    if not 0.0 < code_rate <= 1.0:
+        raise ConfigurationError("code rate must lie in (0, 1]")
+    return ofdm.user_bit_rate(system.constellation.bits_per_symbol, code_rate)
+
+
+def network_throughput_bps(
+    per: float, num_users: int, user_rate_bps: float
+) -> float:
+    """Aggregate network goodput given a packet error rate."""
+    if not 0.0 <= per <= 1.0:
+        raise ConfigurationError(f"PER must lie in [0, 1], got {per}")
+    if num_users <= 0:
+        raise ConfigurationError("num_users must be positive")
+    return num_users * user_rate_bps * (1.0 - per)

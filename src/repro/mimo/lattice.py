@@ -1,0 +1,74 @@
+"""Complex lattice reduction (CLLL basis reduction).
+
+The paper's related work (§6) cites lattice-reduction techniques [15] as
+an alternative near-ML family, dismissed for large MIMO because of their
+sequential nature and ``O(Nt^4)`` cost.  This module implements the
+complex LLL algorithm of Gan, Ling & Mow so the comparison is
+reproducible; the LR-aided detector built on it lives in
+:mod:`repro.detectors.lattice`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+
+
+def clll_reduce(
+    basis: np.ndarray, delta: float = 0.75, max_iterations: int = 10_000
+) -> tuple[np.ndarray, np.ndarray]:
+    """Complex LLL reduction: returns ``(reduced_basis, unimodular_T)``.
+
+    ``reduced_basis = basis @ T`` with ``T`` unimodular over the Gaussian
+    integers (``|det T| = 1``), and the reduced basis satisfies the
+    complex Lovász condition with parameter ``delta``.
+    """
+    if not 0.25 < delta <= 1.0:
+        raise ConfigurationError("delta must lie in (0.25, 1]")
+    basis = np.asarray(basis, dtype=np.complex128).copy()
+    if basis.ndim != 2 or basis.shape[0] < basis.shape[1]:
+        raise DimensionError("clll_reduce expects a tall matrix")
+    num_cols = basis.shape[1]
+    transform = np.eye(num_cols, dtype=np.complex128)
+
+    def gram_schmidt():
+        q, r = np.linalg.qr(basis)
+        return q, r
+
+    _, r = gram_schmidt()
+    iterations = 0
+    k = 1
+    while k < num_cols and iterations < max_iterations:
+        iterations += 1
+        # Size reduction of column k against columns k-1 .. 0.
+        for j in range(k - 1, -1, -1):
+            mu = r[j, k] / r[j, j]
+            rounded = np.round(mu.real) + 1j * np.round(mu.imag)
+            if rounded != 0:
+                basis[:, k] -= rounded * basis[:, j]
+                transform[:, k] -= rounded * transform[:, j]
+                _, r = gram_schmidt()
+        # Lovász condition.
+        lhs = delta * np.abs(r[k - 1, k - 1]) ** 2
+        rhs = np.abs(r[k, k]) ** 2 + np.abs(r[k - 1, k]) ** 2
+        if lhs > rhs:
+            basis[:, [k - 1, k]] = basis[:, [k, k - 1]]
+            transform[:, [k - 1, k]] = transform[:, [k, k - 1]]
+            _, r = gram_schmidt()
+            k = max(k - 1, 1)
+        else:
+            k += 1
+    return basis, transform
+
+
+def orthogonality_defect(basis: np.ndarray) -> float:
+    """Product of column norms over the lattice volume (>= 1; 1 = orthogonal)."""
+    basis = np.asarray(basis)
+    norms = np.prod(np.linalg.norm(basis, axis=0))
+    volume = np.sqrt(
+        np.abs(np.linalg.det(basis.conj().T @ basis))
+    )
+    if volume == 0:
+        return float("inf")
+    return float(norms / volume)

@@ -1,0 +1,59 @@
+"""The :class:`MimoSystem` descriptor shared by detectors and simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.modulation.constellation import QamConstellation
+
+
+@dataclass(frozen=True)
+class MimoSystem:
+    """An ``Nt x Nr`` spatial-multiplexing uplink (Nt users, Nr AP antennas).
+
+    The paper writes systems as ``Nt x Nr`` with ``Nr >= Nt``; each of the
+    ``Nt`` single-antenna users sends one stream of ``constellation``
+    symbols per subcarrier.
+
+    Attributes
+    ----------
+    num_streams:
+        ``Nt`` — transmit antennas / users.
+    num_rx_antennas:
+        ``Nr`` — AP antennas.
+    constellation:
+        The QAM alphabet every user draws from.
+    """
+
+    num_streams: int
+    num_rx_antennas: int
+    constellation: QamConstellation = field(
+        default_factory=lambda: QamConstellation(16)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_streams <= 0 or self.num_rx_antennas <= 0:
+            raise ConfigurationError("antenna counts must be positive")
+        if self.num_rx_antennas < self.num_streams:
+            raise ConfigurationError(
+                f"need Nr >= Nt, got Nt={self.num_streams}, "
+                f"Nr={self.num_rx_antennas}"
+            )
+
+    @property
+    def bits_per_vector(self) -> int:
+        """Coded bits carried by one transmit vector ``s``."""
+        return self.num_streams * self.constellation.bits_per_symbol
+
+    @property
+    def num_leaves(self) -> int:
+        """Size of the full sphere-decoder tree, ``|Q|**Nt``."""
+        return self.constellation.order**self.num_streams
+
+    def label(self) -> str:
+        """Human-readable tag like ``"12x12 64-QAM"``."""
+        return (
+            f"{self.num_streams}x{self.num_rx_antennas} "
+            f"{self.constellation.order}-QAM"
+        )

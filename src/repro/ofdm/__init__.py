@@ -1,0 +1,14 @@
+"""OFDM framing: the 802.11 64-subcarrier grid and LTE mode parameters."""
+
+from repro.ofdm.params import OfdmParams, WIFI_20MHZ
+from repro.ofdm.modem import OfdmModem
+from repro.ofdm.lte import LTE_MODES, LteMode, lte_mode
+
+__all__ = [
+    "LTE_MODES",
+    "LteMode",
+    "OfdmModem",
+    "OfdmParams",
+    "WIFI_20MHZ",
+    "lte_mode",
+]

@@ -1,0 +1,62 @@
+"""LTE mode table used by the Fig. 12 latency analysis.
+
+The paper states (§5.2): a 10 ms LTE frame holds 20 timeslots of 500 µs,
+and a frame carries ``140 x`` the number of occupied subcarriers of symbol
+vectors — i.e. 7 OFDM symbols per slot.  Detection of one slot's vectors
+must finish within the 500 µs slot duration for the receiver to keep up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Per-slot symbol count: 140 symbols per 10 ms frame / 20 slots.
+SYMBOLS_PER_SLOT = 7
+SLOT_DURATION_S = 500e-6
+FRAME_SYMBOLS = 140
+
+
+@dataclass(frozen=True)
+class LteMode:
+    """One LTE bandwidth mode."""
+
+    bandwidth_mhz: float
+    occupied_subcarriers: int
+
+    @property
+    def vectors_per_slot(self) -> int:
+        """MIMO vectors a detector must process within one 500 µs slot."""
+        return self.occupied_subcarriers * SYMBOLS_PER_SLOT
+
+    @property
+    def required_vector_rate(self) -> float:
+        """Sustained detection rate (vectors/s) to keep up with the air."""
+        return self.vectors_per_slot / SLOT_DURATION_S
+
+    def label(self) -> str:
+        if self.bandwidth_mhz == int(self.bandwidth_mhz):
+            return f"{int(self.bandwidth_mhz)} MHz"
+        return f"{self.bandwidth_mhz} MHz"
+
+
+#: The six modes of Fig. 12, with original Release-8 subcarrier counts.
+LTE_MODES: tuple[LteMode, ...] = (
+    LteMode(1.25, 76),
+    LteMode(2.5, 150),
+    LteMode(5.0, 300),
+    LteMode(10.0, 600),
+    LteMode(15.0, 900),
+    LteMode(20.0, 1200),
+)
+
+
+def lte_mode(bandwidth_mhz: float) -> LteMode:
+    """Look up a mode by bandwidth."""
+    for mode in LTE_MODES:
+        if abs(mode.bandwidth_mhz - bandwidth_mhz) < 1e-9:
+            return mode
+    raise ConfigurationError(
+        f"no LTE mode with bandwidth {bandwidth_mhz} MHz"
+    )

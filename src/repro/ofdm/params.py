@@ -1,0 +1,72 @@
+"""OFDM grid parameters.
+
+The paper's throughput experiments use the 802.11 20 MHz numerology: 64
+subcarriers of which 48 carry payload, 4 µs symbols including an 0.8 µs
+cyclic prefix (§5.1 and footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OfdmParams:
+    """Static description of an OFDM physical layer."""
+
+    fft_size: int = 64
+    num_data_subcarriers: int = 48
+    cyclic_prefix: int = 16
+    bandwidth_hz: float = 20e6
+
+    def __post_init__(self) -> None:
+        if self.fft_size <= 0 or self.fft_size & (self.fft_size - 1):
+            raise ConfigurationError("fft_size must be a power of two")
+        if not 0 < self.num_data_subcarriers <= self.fft_size:
+            raise ConfigurationError(
+                "data subcarriers must fit inside the FFT"
+            )
+        if self.cyclic_prefix < 0 or self.cyclic_prefix >= self.fft_size:
+            raise ConfigurationError("invalid cyclic prefix length")
+
+    @property
+    def sample_period_s(self) -> float:
+        return 1.0 / self.bandwidth_hz
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """OFDM symbol duration including the cyclic prefix (4 µs at 20 MHz)."""
+        return (self.fft_size + self.cyclic_prefix) * self.sample_period_s
+
+    @property
+    def data_subcarrier_indices(self) -> np.ndarray:
+        """Data tone positions: 802.11-style, skipping DC and band edges.
+
+        Uses the standard's +/-1..26 occupied range minus pilot positions
+        when the grid is 64/48; falls back to centred allocation otherwise.
+        """
+        if self.fft_size == 64 and self.num_data_subcarriers == 48:
+            occupied = [
+                tone for tone in range(-26, 27)
+                if tone != 0 and tone not in (-21, -7, 7, 21)
+            ]
+            return np.array([tone % self.fft_size for tone in occupied])
+        half = self.num_data_subcarriers // 2
+        tones = [tone for tone in range(-half, half + 1) if tone != 0]
+        tones = tones[: self.num_data_subcarriers]
+        return np.array([tone % self.fft_size for tone in tones])
+
+    def user_bit_rate(self, bits_per_symbol: int, code_rate: float) -> float:
+        """Per-user PHY information rate in bit/s (paper's Mbit/s axis)."""
+        bits_per_ofdm_symbol = (
+            self.num_data_subcarriers * bits_per_symbol * code_rate
+        )
+        return bits_per_ofdm_symbol / self.symbol_duration_s
+
+
+#: The 802.11 20 MHz numerology the paper evaluates on.
+WIFI_20MHZ = OfdmParams()

@@ -1,0 +1,27 @@
+"""Processing-element abstractions and GPU/FPGA execution models.
+
+Real hardware (the paper's GTX 970 and XCVU440) is replaced by analytic
+models calibrated against the figures the paper itself publishes; see
+DESIGN.md §1.3 for the substitution rationale.
+"""
+
+from repro.parallel.elements import PePool, schedule_paths
+from repro.parallel.fpga import (
+    FPGA_DEVICE_XCVU440,
+    FpgaDevice,
+    FpgaEngineModel,
+    RtlCostModel,
+)
+from repro.parallel.gpu import CpuOpenMpModel, GpuExecutionModel, GpuModelParams
+
+__all__ = [
+    "CpuOpenMpModel",
+    "FPGA_DEVICE_XCVU440",
+    "FpgaDevice",
+    "FpgaEngineModel",
+    "GpuExecutionModel",
+    "GpuModelParams",
+    "PePool",
+    "RtlCostModel",
+    "schedule_paths",
+]

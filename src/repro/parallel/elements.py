@@ -1,0 +1,79 @@
+"""Processing-element pool and path-to-PE scheduling.
+
+The paper's Fig. 9 evaluates schemes under the *minimum latency*
+assumption: each processing element executes exactly one parallel task
+per received vector.  When fewer PEs than paths are available, a PE must
+serve several paths sequentially and latency multiplies — the trade-off
+:func:`schedule_paths` quantifies and the FPGA evaluation (Fig. 13)
+exploits via pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PePool:
+    """A pool of identical processing elements.
+
+    Attributes
+    ----------
+    count:
+        Number of PEs.
+    path_latency_s:
+        Time one PE needs to evaluate one sphere-decoder path.
+    pipelined:
+        FPGA-style pipelining: after the pipeline fills, one path retires
+        per cycle per PE instead of one per ``path_latency_s``.
+    cycle_s:
+        Pipeline cycle time (only meaningful when ``pipelined``).
+    pipeline_fill_cycles:
+        Pipeline depth in cycles.
+    """
+
+    count: int
+    path_latency_s: float = 1.0e-6
+    pipelined: bool = False
+    cycle_s: float = 5.5e-9
+    pipeline_fill_cycles: int = 100
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError("PE count must be positive")
+        if self.path_latency_s <= 0 or self.cycle_s <= 0:
+            raise ConfigurationError("latencies must be positive")
+
+
+def schedule_paths(pool: PePool, num_paths: int) -> dict:
+    """Latency and utilisation of mapping ``num_paths`` onto the pool.
+
+    Returns a dict with:
+
+    * ``passes`` — sequential rounds each PE performs;
+    * ``latency_s`` — time until the last path finishes;
+    * ``utilisation`` — fraction of PE-rounds doing useful work;
+    * ``throughput_vectors_per_s`` — sustained rate for back-to-back
+      vectors (pipelined pools overlap successive vectors).
+    """
+    if num_paths <= 0:
+        raise ConfigurationError("num_paths must be positive")
+    passes = int(np.ceil(num_paths / pool.count))
+    utilisation = num_paths / (passes * pool.count)
+    if pool.pipelined:
+        fill = pool.pipeline_fill_cycles * pool.cycle_s
+        latency = fill + passes * pool.cycle_s
+        throughput = pool.count / (num_paths * pool.cycle_s)
+    else:
+        latency = passes * pool.path_latency_s
+        throughput = 1.0 / latency
+    return {
+        "passes": passes,
+        "latency_s": float(latency),
+        "utilisation": float(utilisation),
+        "throughput_vectors_per_s": float(throughput),
+    }

@@ -1,0 +1,80 @@
+"""Bit-level helpers shared by the modulation and coding subsystems.
+
+Conventions
+-----------
+* Bit arrays are 1-D ``numpy`` arrays of dtype ``uint8`` holding 0/1.
+* The most significant bit comes first (``int_to_bits(6, 3) -> [1, 1, 0]``),
+  matching the labelling used for QAM Gray mapping in the paper's 802.11
+  setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Return ``value`` as a MSB-first bit vector of length ``width``."""
+    if value < 0 or value >= (1 << width):
+        raise DimensionError(
+            f"value {value} does not fit in {width} bits"
+        )
+    return np.array([(value >> shift) & 1 for shift in range(width - 1, -1, -1)],
+                    dtype=np.uint8)
+
+
+def ints_to_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :func:`int_to_bits`: shape ``(n,)`` -> ``(n * width,)``."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1:
+        raise DimensionError("ints_to_bits expects a 1-D array")
+    if values.size and (values.min() < 0 or values.max() >= (1 << width)):
+        raise DimensionError(f"values do not fit in {width} bits")
+    shifts = np.arange(width - 1, -1, -1)
+    bits = (values[:, None] >> shifts[None, :]) & 1
+    return bits.astype(np.uint8).reshape(-1)
+
+
+def bits_to_ints(bits: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`ints_to_bits`: shape ``(n * width,)`` -> ``(n,)``."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.ndim != 1 or bits.size % width != 0:
+        raise DimensionError("bit array length must be a multiple of width")
+    groups = bits.reshape(-1, width)
+    weights = 1 << np.arange(width - 1, -1, -1)
+    return (groups * weights).sum(axis=1)
+
+
+def gray_encode(value: int | np.ndarray) -> int | np.ndarray:
+    """Map a natural binary integer to its Gray-coded counterpart."""
+    value = np.asarray(value)
+    result = value ^ (value >> 1)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def gray_decode(value: int | np.ndarray) -> int | np.ndarray:
+    """Invert :func:`gray_encode`."""
+    value = np.asarray(value)
+    result = value.copy()
+    shift = 1
+    # Each iteration folds another run of bits; log2 passes suffice.
+    while (result >> shift).any():
+        result = result ^ (result >> shift)
+        shift *= 2
+    result = result ^ (result >> shift)
+    if result.ndim == 0:
+        return int(result)
+    return result
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where the two bit vectors differ."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise DimensionError("hamming_distance expects equal-shape arrays")
+    return int(np.count_nonzero(a != b))

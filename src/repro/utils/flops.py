@@ -1,0 +1,92 @@
+"""Floating-point-operation accounting.
+
+The paper reports complexity in *real multiplications* (Table 2) and
+*GFLOPS* (Table 1).  Detectors and the FlexCore pre-processor accept an
+optional :class:`FlopCounter` and charge their arithmetic to it; the
+experiment harnesses read the totals back out.
+
+Counting conventions (documented so the Table 1/2 reproductions are
+auditable):
+
+* one complex multiplication        = 4 real multiplications + 2 real adds
+* one complex magnitude-squared     = 2 real multiplications + 1 real add
+* one real multiplication / add     = 1 flop each
+
+``FlopCounter`` is deliberately tiny and allocation-free on the hot path;
+detectors call it once per vectorised batch with pre-computed counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlopCounter:
+    """Accumulates real multiplications, additions and comparisons."""
+
+    real_mults: int = 0
+    real_adds: int = 0
+    comparisons: int = 0
+    nodes_visited: int = 0
+    _enabled: bool = field(default=True, repr=False)
+
+    def add_real_mults(self, count: int) -> None:
+        if self._enabled:
+            self.real_mults += int(count)
+
+    def add_real_adds(self, count: int) -> None:
+        if self._enabled:
+            self.real_adds += int(count)
+
+    def add_comparisons(self, count: int) -> None:
+        if self._enabled:
+            self.comparisons += int(count)
+
+    def add_complex_mults(self, count: int) -> None:
+        """Charge ``count`` complex multiplications (4 mults + 2 adds each)."""
+        if self._enabled:
+            self.real_mults += 4 * int(count)
+            self.real_adds += 2 * int(count)
+
+    def add_magnitude_squared(self, count: int) -> None:
+        """Charge ``count`` |z|^2 evaluations (2 mults + 1 add each)."""
+        if self._enabled:
+            self.real_mults += 2 * int(count)
+            self.real_adds += int(count)
+
+    def add_nodes(self, count: int) -> None:
+        if self._enabled:
+            self.nodes_visited += int(count)
+
+    @property
+    def total_flops(self) -> int:
+        """Total arithmetic operations (multiplications + additions)."""
+        return self.real_mults + self.real_adds
+
+    def reset(self) -> None:
+        self.real_mults = 0
+        self.real_adds = 0
+        self.comparisons = 0
+        self.nodes_visited = 0
+
+    def merged(self, other: "FlopCounter") -> "FlopCounter":
+        """Return a new counter holding the sum of ``self`` and ``other``."""
+        return FlopCounter(
+            real_mults=self.real_mults + other.real_mults,
+            real_adds=self.real_adds + other.real_adds,
+            comparisons=self.comparisons + other.comparisons,
+            nodes_visited=self.nodes_visited + other.nodes_visited,
+        )
+
+
+class _NullCounter(FlopCounter):
+    """A counter that ignores every charge; used as the default sink."""
+
+    def __init__(self) -> None:
+        super().__init__(_enabled=False)
+
+
+#: Shared do-nothing counter. Passing this avoids ``if counter is not None``
+#: branches on hot paths.
+NULL_COUNTER = _NullCounter()

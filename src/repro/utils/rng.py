@@ -1,0 +1,32 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts ``rng=None | int |
+numpy.random.Generator`` and funnels it through :func:`as_rng`, so whole
+experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` creates a fresh non-deterministic generator, an ``int`` seeds a
+    new PCG64 generator, and an existing generator passes through untouched
+    (so callers can share one stream across components).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,40 @@
+"""Small argument-validation helpers raising :mod:`repro.errors` types."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, ConstellationError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive power of two, else raise."""
+    check_positive_int(value, name)
+    if value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in [0, 1], else raise."""
+    if not (0.0 <= value <= 1.0) or math.isnan(value):
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_square_qam_order(order: int) -> int:
+    """Validate a square-QAM constellation order (4, 16, 64, 256, ...)."""
+    check_positive_int(order, "constellation order")
+    side = math.isqrt(order)
+    if side * side != order or side < 2 or (side & (side - 1)):
+        raise ConstellationError(
+            f"square QAM requires order m^2 with m a power of two >= 2, got {order}"
+        )
+    return order

@@ -1,0 +1,57 @@
+"""Tests for Kronecker-correlated channels."""
+
+import numpy as np
+import pytest
+
+from repro.channel.correlation import exponential_correlation, kronecker_correlated
+from repro.channel.fading import rayleigh_channels
+from repro.errors import ConfigurationError, DimensionError
+
+
+class TestExponentialCorrelation:
+    def test_structure(self):
+        matrix = exponential_correlation(4, 0.5)
+        assert matrix[0, 0] == 1.0
+        assert matrix[0, 1] == 0.5
+        assert matrix[0, 3] == 0.125
+        assert np.allclose(matrix, matrix.T)
+
+    def test_rho_zero_is_identity(self):
+        assert np.allclose(exponential_correlation(5, 0.0), np.eye(5))
+
+    def test_invalid_rho(self):
+        with pytest.raises(ConfigurationError):
+            exponential_correlation(4, 1.0)
+
+
+class TestKronecker:
+    def test_identity_correlation_is_noop(self, rng):
+        channel = rayleigh_channels(3, 4, 2, rng)
+        out = kronecker_correlated(channel, np.eye(4), np.eye(2))
+        assert np.allclose(out, channel)
+
+    def test_single_matrix_accepted(self, rng):
+        channel = rayleigh_channels(1, 4, 2, rng)[0]
+        out = kronecker_correlated(channel, exponential_correlation(4, 0.5))
+        assert out.shape == (4, 2)
+
+    def test_imposes_rx_correlation(self):
+        rho = 0.9
+        correlation = exponential_correlation(4, rho)
+        channels = rayleigh_channels(4000, 4, 1, rng=0)
+        correlated = kronecker_correlated(channels, correlation)
+        flat = correlated[:, :, 0]
+        empirical = (flat.conj().T @ flat) / flat.shape[0]
+        assert np.real(empirical[0, 1]) == pytest.approx(rho, abs=0.08)
+
+    def test_preserves_total_power(self):
+        correlation = exponential_correlation(4, 0.7)
+        channels = rayleigh_channels(3000, 4, 2, rng=1)
+        correlated = kronecker_correlated(channels, correlation)
+        power = np.mean(np.abs(correlated) ** 2)
+        assert power == pytest.approx(1.0, rel=0.1)
+
+    def test_shape_mismatch_raises(self, rng):
+        channel = rayleigh_channels(2, 4, 2, rng)
+        with pytest.raises(DimensionError):
+            kronecker_correlated(channel, np.eye(3))

@@ -1,0 +1,97 @@
+"""Tests for Doppler-correlated channel evolution."""
+
+import numpy as np
+import pytest
+
+from repro.channel.doppler import (
+    coherence_frames,
+    doppler_trace,
+    evolve_channel,
+    jakes_correlation,
+)
+from repro.channel.fading import rayleigh_channels
+from repro.errors import ConfigurationError
+
+
+class TestJakes:
+    def test_static_channel(self):
+        assert jakes_correlation(0.0, 1e-3) == pytest.approx(1.0)
+
+    def test_decay_with_doppler(self):
+        slow = jakes_correlation(5.0, 1e-3)
+        fast = jakes_correlation(100.0, 1e-3)
+        assert 0.0 <= fast < slow <= 1.0
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jakes_correlation(-1.0, 1e-3)
+
+
+class TestEvolution:
+    def test_full_correlation_is_identity(self, rng):
+        channel = rayleigh_channels(1, 4, 4, rng)[0]
+        evolved = evolve_channel(channel, 1.0, rng)
+        assert np.allclose(evolved, channel)
+
+    def test_zero_correlation_is_fresh_draw(self, rng):
+        channel = rayleigh_channels(1, 4, 4, rng)[0]
+        evolved = evolve_channel(channel, 0.0, rng)
+        correlation = np.abs(
+            np.vdot(channel, evolved)
+            / (np.linalg.norm(channel) * np.linalg.norm(evolved))
+        )
+        assert correlation < 0.5
+
+    def test_power_preserved(self, rng):
+        channel = rayleigh_channels(1, 8, 8, rng)[0]
+        power_before = np.mean(np.abs(channel) ** 2)
+        total = 0.0
+        for seed in range(50):
+            evolved = evolve_channel(channel, 0.7, seed)
+            total += np.mean(np.abs(evolved) ** 2)
+        assert total / 50 == pytest.approx(power_before, rel=0.15)
+
+    def test_invalid_correlation(self, rng):
+        with pytest.raises(ConfigurationError):
+            evolve_channel(np.ones((2, 2)), 1.5, rng)
+
+
+class TestDopplerTrace:
+    def test_trace_shape_and_metadata(self, rng):
+        frame = rayleigh_channels(4, 4, 4, rng)  # (subcarriers, Nr, Nt)
+        trace = doppler_trace(frame, 10, doppler_hz=20.0,
+                              frame_interval_s=1e-3, rng=rng)
+        assert trace.response.shape == (10, 4, 4, 4)
+        assert trace.metadata["doppler_hz"] == 20.0
+
+    def test_adjacent_frames_more_similar_than_distant(self, rng):
+        frame = rayleigh_channels(2, 8, 8, rng)
+        trace = doppler_trace(frame, 30, doppler_hz=30.0,
+                              frame_interval_s=1e-3, rng=rng)
+
+        def similarity(a, b):
+            return np.abs(
+                np.vdot(a, b) / (np.linalg.norm(a) * np.linalg.norm(b))
+            )
+
+        near = similarity(trace.response[0], trace.response[1])
+        far = similarity(trace.response[0], trace.response[29])
+        assert near > far
+
+    def test_invalid_frame_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            doppler_trace(rayleigh_channels(1, 2, 2, rng), 0, 10.0, 1e-3)
+
+
+class TestCoherence:
+    def test_static_channel_never_expires(self):
+        assert coherence_frames(0.0, 1e-3) == 1 << 30
+
+    def test_faster_doppler_shorter_coherence(self):
+        slow = coherence_frames(5.0, 1e-3)
+        fast = coherence_frames(50.0, 1e-3)
+        assert fast < slow
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            coherence_frames(10.0, 1e-3, threshold=0.0)

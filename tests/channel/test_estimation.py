@@ -1,0 +1,44 @@
+"""Tests for LS channel estimation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.estimation import estimate_channel_ls, pilot_matrix, sound_channel
+from repro.channel.fading import rayleigh_channel
+from repro.errors import DimensionError
+
+
+class TestPilots:
+    def test_orthogonality(self):
+        pilots = pilot_matrix(4, 8)
+        gram = pilots.conj().T @ pilots
+        assert np.allclose(gram, 8 * np.eye(4), atol=1e-9)
+
+    def test_too_few_pilots_raise(self):
+        with pytest.raises(DimensionError):
+            pilot_matrix(4, 3)
+
+
+class TestEstimation:
+    def test_noiseless_is_exact(self, rng):
+        channel = rayleigh_channel(4, 3, rng)
+        pilots = pilot_matrix(3, 6)
+        received = pilots @ channel.T
+        estimate = estimate_channel_ls(received, pilots)
+        assert np.allclose(estimate, channel, atol=1e-10)
+
+    def test_error_decreases_with_snr(self):
+        errors = []
+        for noise_var in (0.1, 0.001):
+            total = 0.0
+            for seed in range(30):
+                rng = np.random.default_rng(seed)
+                channel = rayleigh_channel(4, 4, rng)
+                estimate = sound_channel(channel, noise_var, rng=rng)
+                total += np.linalg.norm(estimate - channel) ** 2
+            errors.append(total)
+        assert errors[1] < errors[0]
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            estimate_channel_ls(np.zeros((5, 4)), np.zeros((6, 2)))

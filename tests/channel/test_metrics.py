@@ -1,0 +1,43 @@
+"""Tests for channel quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.channel.metrics import condition_number_db, mimo_capacity_bits
+from repro.errors import DimensionError
+
+
+class TestConditionNumber:
+    def test_identity_is_zero_db(self):
+        assert condition_number_db(np.eye(4)) == pytest.approx(0.0)
+
+    def test_known_ratio(self):
+        matrix = np.diag([10.0, 1.0])
+        assert condition_number_db(matrix) == pytest.approx(20.0)
+
+    def test_singular_matrix_is_infinite(self):
+        matrix = np.ones((3, 3))
+        assert condition_number_db(matrix) == float("inf")
+
+    def test_requires_matrix(self):
+        with pytest.raises(DimensionError):
+            condition_number_db(np.zeros(4))
+
+
+class TestCapacity:
+    def test_identity_capacity(self):
+        # log2 det(I + snr/Nt I) = Nt log2(1 + snr/Nt)
+        snr = 10.0
+        capacity = mimo_capacity_bits(np.eye(4), snr)
+        assert capacity == pytest.approx(4 * np.log2(1 + snr / 4))
+
+    def test_monotone_in_snr(self, rng):
+        channel = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        low = mimo_capacity_bits(channel, 1.0)
+        high = mimo_capacity_bits(channel, 100.0)
+        assert high > low
+
+    def test_more_antennas_help(self, rng):
+        h2 = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        h4 = np.kron(np.eye(2), h2)
+        assert mimo_capacity_bits(h4, 10.0) > mimo_capacity_bits(h2, 10.0)

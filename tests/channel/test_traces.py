@@ -1,0 +1,71 @@
+"""Tests for channel trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.channel.traces import ChannelTrace, combine_user_traces
+from repro.errors import DimensionError
+
+
+def _user_trace(rng, frames=2, subcarriers=4, num_rx=3):
+    response = rng.standard_normal(
+        (frames, subcarriers, num_rx, 1)
+    ) + 1j * rng.standard_normal((frames, subcarriers, num_rx, 1))
+    return ChannelTrace(response=response, metadata={"id": 1})
+
+
+class TestChannelTrace:
+    def test_properties(self, rng):
+        trace = _user_trace(rng)
+        assert trace.num_frames == 2
+        assert trace.num_subcarriers == 4
+        assert trace.num_rx == 3
+        assert trace.num_tx == 1
+
+    def test_frame_view(self, rng):
+        trace = _user_trace(rng)
+        assert trace.frame(1).shape == (4, 3, 1)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(DimensionError):
+            ChannelTrace(response=np.zeros((2, 3, 4)))
+
+    def test_average_gain(self, rng):
+        trace = _user_trace(rng)
+        gain = trace.average_gain_per_user()
+        assert gain.shape == (1,)
+        assert gain[0] == pytest.approx(
+            np.mean(np.abs(trace.response) ** 2), rel=1e-12
+        )
+
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        trace = _user_trace(rng)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = ChannelTrace.load(path)
+        assert np.allclose(loaded.response, trace.response)
+        assert "id" in loaded.metadata
+
+
+class TestCombine:
+    def test_combines_into_mu_mimo(self, rng):
+        users = [_user_trace(rng) for _ in range(5)]
+        combined = combine_user_traces(users)
+        assert combined.num_tx == 5
+        assert np.allclose(combined.response[..., 2:3], users[2].response)
+
+    def test_empty_raises(self):
+        with pytest.raises(DimensionError):
+            combine_user_traces([])
+
+    def test_mismatched_dims_raise(self, rng):
+        users = [_user_trace(rng), _user_trace(rng, frames=3)]
+        with pytest.raises(DimensionError):
+            combine_user_traces(users)
+
+    def test_multi_tx_user_rejected(self, rng):
+        bad = ChannelTrace(
+            response=np.zeros((2, 4, 3, 2), dtype=complex)
+        )
+        with pytest.raises(DimensionError):
+            combine_user_traces([bad])

@@ -1,0 +1,74 @@
+"""Tests for the 802.11 block interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.interleaver import BlockInterleaver
+from repro.errors import ConfigurationError, DimensionError
+
+
+class TestBijectivity:
+    @given(
+        st.sampled_from([24, 32, 48, 72, 96, 144, 192, 288]),
+        st.sampled_from([1, 2, 4, 6, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_identity(self, block, bps):
+        interleaver = BlockInterleaver(block, bps)
+        data = np.arange(block)
+        assert np.array_equal(
+            interleaver.deinterleave(interleaver.interleave(data)), data
+        )
+
+    def test_permutation_is_bijection(self):
+        interleaver = BlockInterleaver(288, 6)
+        assert np.unique(interleaver.permutation).size == 288
+
+    def test_standard_grid_keeps_16_columns(self):
+        assert BlockInterleaver(288, 6).columns == 16
+        assert BlockInterleaver(192, 4).columns == 16
+
+    def test_nonstandard_grid_falls_back(self):
+        # 48 bits with s=2 breaks the standard second permutation.
+        interleaver = BlockInterleaver(48, 4)
+        data = np.arange(48)
+        assert np.array_equal(
+            interleaver.deinterleave(interleaver.interleave(data)), data
+        )
+
+
+class TestSpreading:
+    def test_adjacent_bits_are_separated(self):
+        """The point of interleaving: adjacent coded bits land far apart."""
+        interleaver = BlockInterleaver(288, 6)
+        positions = np.empty(288, dtype=int)
+        positions[interleaver.permutation] = np.arange(288)
+        # Positions of adjacent input bits in the output:
+        output_positions = np.argsort(interleaver.permutation)
+        gaps = np.abs(np.diff(output_positions))
+        assert np.median(gaps) >= 16
+
+
+class TestMultiBlock:
+    def test_applies_per_block(self, rng):
+        interleaver = BlockInterleaver(96, 4)
+        data = rng.integers(0, 2, 96 * 3)
+        out = interleaver.interleave(data)
+        # Each block permuted independently.
+        first = interleaver.interleave(data[:96])
+        assert np.array_equal(out[:96], first)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(DimensionError):
+            BlockInterleaver(96, 4).interleave(np.zeros(100))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(0, 4)
+
+    def test_rejects_nonpositive_bps(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(96, 0)

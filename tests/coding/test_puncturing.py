@@ -1,0 +1,71 @@
+"""Tests for 802.11 puncturing."""
+
+import numpy as np
+import pytest
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.puncturing import PUNCTURE_PATTERNS, Puncturer
+from repro.coding.viterbi import ViterbiDecoder
+from repro.errors import ConfigurationError, DimensionError
+
+
+class TestPatterns:
+    def test_known_rates(self):
+        assert Puncturer("1/2").rate == 0.5
+        assert Puncturer("2/3").rate == pytest.approx(2 / 3)
+        assert Puncturer("3/4").rate == 0.75
+
+    def test_unknown_rate_raises(self):
+        with pytest.raises(ConfigurationError):
+            Puncturer("5/6")
+
+    def test_pattern_lengths_match_rates(self):
+        for name, pattern in PUNCTURE_PATTERNS.items():
+            numerator, denominator = (int(p) for p in name.split("/"))
+            # kept bits / pattern period = numerator*... : rate = info/coded
+            kept = sum(pattern)
+            period = len(pattern)
+            assert (period / 2) / kept == pytest.approx(
+                numerator / denominator
+            )
+
+
+class TestPunctureDepuncture:
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_roundtrip_restores_kept_positions(self, rate, rng):
+        puncturer = Puncturer(rate)
+        period = puncturer.pattern.size
+        coded = rng.standard_normal(period * 10)
+        punctured = puncturer.puncture(coded)
+        restored = puncturer.depuncture(punctured)
+        keep = np.tile(puncturer.pattern, 10)
+        assert np.array_equal(restored[keep], coded[keep])
+        assert not restored[~keep].any()
+
+    def test_punctured_length(self):
+        puncturer = Puncturer("3/4")
+        assert puncturer.punctured_length(12) == 8
+
+    def test_bad_length_raises(self):
+        with pytest.raises(DimensionError):
+            Puncturer("3/4").puncture(np.zeros(10))
+
+    def test_depuncture_bad_length_raises(self):
+        with pytest.raises(DimensionError):
+            Puncturer("3/4").depuncture(np.zeros(7))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("rate", ["2/3", "3/4"])
+    def test_punctured_code_decodes_noiselessly(self, rate, rng):
+        code = ConvolutionalCode()
+        decoder = ViterbiDecoder(code)
+        puncturer = Puncturer(rate)
+        period = puncturer.pattern.size
+        # Choose an info size whose mother-coded length fits the period.
+        info_bits = 3 * period - code.tail_bits
+        info = rng.integers(0, 2, info_bits).astype(np.uint8)
+        coded = code.encode(info)
+        punctured = puncturer.puncture(coded)
+        llrs = puncturer.depuncture(1.0 - 2.0 * punctured.astype(float))
+        assert np.array_equal(decoder.decode_soft(llrs), info)

@@ -1,0 +1,77 @@
+"""Tests for the 802.11 scrambler and CRC-32 FCS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.crc import append_crc, check_crc, crc32_bits
+from repro.coding.scrambler import Scrambler
+from repro.errors import ConfigurationError, DimensionError
+
+
+class TestScrambler:
+    @given(st.integers(1, 127), st.integers(1, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_involution(self, seed, length):
+        scrambler = Scrambler(seed)
+        rng = np.random.default_rng(length)
+        bits = rng.integers(0, 2, length).astype(np.uint8)
+        assert np.array_equal(
+            scrambler.descramble(scrambler.scramble(bits)), bits
+        )
+
+    def test_keystream_period_is_127(self):
+        scrambler = Scrambler(0x7F)
+        stream = scrambler.keystream(254)
+        assert np.array_equal(stream[:127], stream[127:])
+        # Maximum-length sequence: not shorter-periodic.
+        assert not np.array_equal(stream[:63], stream[63:126])
+
+    def test_whitens_constant_input(self):
+        scrambler = Scrambler()
+        zeros = np.zeros(127, dtype=np.uint8)
+        scrambled = scrambler.scramble(zeros)
+        ones_fraction = scrambled.mean()
+        assert 0.4 < ones_fraction < 0.6
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scrambler(0)
+
+
+class TestCrc32:
+    def test_detects_single_bit_flips(self, rng):
+        payload = rng.integers(0, 2, 200).astype(np.uint8)
+        frame = append_crc(payload)
+        assert check_crc(frame)
+        for position in (0, 57, 199, 210):
+            corrupted = frame.copy()
+            corrupted[position] ^= 1
+            assert not check_crc(corrupted)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 2, 64).astype(np.uint8)
+        assert check_crc(append_crc(payload))
+
+    def test_burst_error_detected(self, rng):
+        payload = rng.integers(0, 2, 100).astype(np.uint8)
+        frame = append_crc(payload)
+        frame[10:30] ^= 1
+        assert not check_crc(frame)
+
+    def test_known_crc_nonzero(self):
+        bits = np.ones(8, dtype=np.uint8)
+        crc = crc32_bits(bits)
+        assert crc.shape == (32,)
+        assert crc.any()
+
+    def test_empty_rejected(self):
+        with pytest.raises(DimensionError):
+            crc32_bits(np.array([], dtype=np.uint8))
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(DimensionError):
+            check_crc(np.zeros(32, dtype=np.uint8))

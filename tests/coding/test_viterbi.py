@@ -1,0 +1,100 @@
+"""Tests for the Viterbi decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.coding.viterbi import ViterbiDecoder
+from repro.errors import DimensionError
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ConvolutionalCode()
+
+
+@pytest.fixture(scope="module")
+def decoder(code):
+    return ViterbiDecoder(code)
+
+
+class TestNoiseless:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_hard_roundtrip(self, seed):
+        code = ConvolutionalCode()
+        decoder = ViterbiDecoder(code)
+        rng = np.random.default_rng(seed)
+        info = rng.integers(0, 2, 60).astype(np.uint8)
+        coded = code.encode(info)
+        assert np.array_equal(decoder.decode_hard(coded), info)
+
+    def test_soft_roundtrip(self, code, decoder, rng):
+        info = rng.integers(0, 2, 100).astype(np.uint8)
+        coded = code.encode(info)
+        llrs = (1.0 - 2.0 * coded) * 3.7  # scaled LLRs
+        assert np.array_equal(decoder.decode_soft(llrs), info)
+
+    def test_unterminated_mode(self, code, decoder, rng):
+        info = rng.integers(0, 2, 50).astype(np.uint8)
+        coded = code.encode(info, terminate=False)
+        decoded = decoder.decode_soft(
+            1.0 - 2.0 * coded.astype(float), terminated=False
+        )
+        # The last few bits may be unreliable without termination.
+        assert np.array_equal(decoded[:40], info[:40])
+
+
+class TestErrorCorrection:
+    def test_corrects_scattered_bit_flips(self, code, decoder, rng):
+        info = rng.integers(0, 2, 200).astype(np.uint8)
+        coded = code.encode(info)
+        corrupted = coded.copy()
+        # Flip isolated bits, spaced beyond the constraint length.
+        for position in range(10, 380, 40):
+            corrupted[position] ^= 1
+        assert np.array_equal(decoder.decode_hard(corrupted), info)
+
+    def test_erasures_are_neutral(self, code, decoder, rng):
+        info = rng.integers(0, 2, 100).astype(np.uint8)
+        coded = code.encode(info)
+        llrs = 1.0 - 2.0 * coded.astype(float)
+        llrs[5:200:20] = 0.0  # erase scattered positions
+        assert np.array_equal(decoder.decode_soft(llrs), info)
+
+    def test_ber_improves_with_snr(self, code, decoder, rng):
+        info = rng.integers(0, 2, 500).astype(np.uint8)
+        coded = code.encode(info)
+        signal = 1.0 - 2.0 * coded.astype(float)
+
+        def ber(noise_std):
+            noisy = signal + noise_std * rng.standard_normal(signal.size)
+            decoded = decoder.decode_soft(noisy)
+            return np.mean(decoded != info)
+
+        assert ber(1.2) >= ber(0.4)
+
+
+class TestBatch:
+    def test_batch_matches_single(self, code, decoder, rng):
+        blocks = []
+        llr_rows = []
+        for _ in range(5):
+            info = rng.integers(0, 2, 80).astype(np.uint8)
+            coded = code.encode(info)
+            llrs = 1.0 - 2.0 * coded.astype(float)
+            llrs += 0.8 * rng.standard_normal(llrs.size)
+            blocks.append(info)
+            llr_rows.append(llrs)
+        batch = decoder.decode_soft_batch(np.asarray(llr_rows))
+        for row, llrs in enumerate(llr_rows):
+            assert np.array_equal(batch[row], decoder.decode_soft(llrs))
+
+    def test_batch_requires_2d(self, decoder):
+        with pytest.raises(DimensionError):
+            decoder.decode_soft_batch(np.zeros(8))
+
+    def test_bad_length_raises(self, decoder):
+        with pytest.raises(DimensionError):
+            decoder.decode_soft(np.zeros(7))

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[4, 16, 64], ids=["qpsk", "16qam", "64qam"])
+def constellation(request):
+    return QamConstellation(request.param)
+
+
+@pytest.fixture
+def qam16():
+    return QamConstellation(16)
+
+
+@pytest.fixture
+def small_system(qam16):
+    """A 3x3 16-QAM system small enough for exhaustive ML."""
+    return MimoSystem(3, 3, qam16)
+
+
+@pytest.fixture
+def mid_system(qam16):
+    return MimoSystem(8, 8, qam16)
+
+
+def random_link(system, snr_db, num_vectors, rng):
+    """Helper: (channel, tx indices, received) triple for detector tests."""
+    from repro.channel.fading import rayleigh_channel
+    from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+    from repro.modulation.mapper import random_symbol_indices
+
+    channel = rayleigh_channel(
+        system.num_rx_antennas, system.num_streams, rng
+    )
+    noise_var = noise_variance_for_snr_db(snr_db)
+    indices = random_symbol_indices(
+        num_vectors, system.num_streams, system.constellation, rng
+    )
+    received = apply_channel(
+        channel, system.constellation.points[indices], noise_var, rng
+    )
+    return channel, indices, received, noise_var

@@ -1,0 +1,51 @@
+"""Tests for the shared detector interface."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.base import DetectionResult, Detector
+from repro.detectors.linear import ZfDetector
+from repro.errors import DimensionError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture
+def detector():
+    return ZfDetector(MimoSystem(3, 4, QamConstellation(16)))
+
+
+class TestValidation:
+    def test_wrong_channel_shape_rejected(self, detector):
+        with pytest.raises(DimensionError):
+            detector.prepare(np.zeros((3, 3), dtype=complex), 0.1)
+
+    def test_wrong_received_shape_rejected(self, detector):
+        context = detector.prepare(np.eye(4, 3, dtype=complex), 0.1)
+        with pytest.raises(DimensionError):
+            detector.detect_prepared(context, np.zeros((5, 3), dtype=complex))
+
+    def test_one_dimensional_received_promoted(self, detector):
+        context = detector.prepare(np.eye(4, 3, dtype=complex), 0.1)
+        result = detector.detect_prepared(
+            context, np.zeros(4, dtype=complex)
+        )
+        assert result.indices.shape == (1, 3)
+
+    def test_detect_is_prepare_plus_detect(self, detector, rng):
+        channel = rng.standard_normal((4, 3)) + 1j * rng.standard_normal((4, 3))
+        received = rng.standard_normal((5, 4)) + 1j * rng.standard_normal((5, 4))
+        one_shot = detector.detect(channel, received, 0.1)
+        context = detector.prepare(channel, 0.1)
+        two_step = detector.detect_prepared(context, received)
+        assert np.array_equal(one_shot.indices, two_step.indices)
+
+
+class TestDetectionResult:
+    def test_metadata_defaults_empty(self):
+        result = DetectionResult(indices=np.zeros((1, 2), dtype=np.int64))
+        assert result.metadata == {}
+
+    def test_abstract_base_not_instantiable(self):
+        with pytest.raises(TypeError):
+            Detector(MimoSystem(2, 2))

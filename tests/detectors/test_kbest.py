@@ -1,0 +1,71 @@
+"""Tests for the K-best breadth-first detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.kbest import KBestDetector
+from repro.detectors.ml import MlDetector
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from tests.conftest import random_link
+
+
+class TestEquivalences:
+    def test_full_beam_is_ml(self, rng):
+        """K = |Q|^(Nt-1) keeps every path alive: exact ML."""
+        system = MimoSystem(2, 2, QamConstellation(4))
+        ml = MlDetector(system)
+        kbest = KBestDetector(system, k=16)
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            channel, _, received, noise_var = random_link(
+                system, 5.0, 30, local
+            )
+            assert np.array_equal(
+                kbest.detect(channel, received, noise_var).indices,
+                ml.detect(channel, received, noise_var).indices,
+            )
+
+
+class TestBehaviour:
+    def test_noiseless_recovery(self, small_system, rng):
+        channel, indices, received, _ = random_link(
+            small_system, 200.0, 25, rng
+        )
+        result = KBestDetector(small_system, k=8).detect(
+            channel, received, 1e-16
+        )
+        assert np.array_equal(result.indices, indices)
+
+    def test_wider_beam_helps(self, small_system):
+        errors = {}
+        for k in (1, 4, 32):
+            detector = KBestDetector(small_system, k=k)
+            count = 0
+            for seed in range(15):
+                rng = np.random.default_rng(seed)
+                channel, indices, received, noise_var = random_link(
+                    small_system, 9.0, 30, rng
+                )
+                result = detector.detect(channel, received, noise_var)
+                count += np.count_nonzero(
+                    (result.indices != indices).any(axis=1)
+                )
+            errors[k] = count
+        assert errors[32] <= errors[4] <= errors[1]
+
+    def test_beam_wider_than_alphabet(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 10.0, 10, rng
+        )
+        result = KBestDetector(small_system, k=1000).detect(
+            channel, received, noise_var
+        )
+        assert result.indices.shape == (10, 3)
+
+
+class TestValidation:
+    def test_bad_k(self, small_system):
+        with pytest.raises(ConfigurationError):
+            KBestDetector(small_system, k=0)

@@ -1,0 +1,94 @@
+"""Tests for adaptive per-level K-best detection."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.kbest import KBestDetector
+from repro.detectors.kbest_adaptive import (
+    AdaptiveKBestDetector,
+    beam_widths_for_model,
+)
+from repro.errors import ConfigurationError
+from repro.flexcore.probability import LevelErrorModel
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from tests.conftest import random_link
+
+
+class TestBeamWidths:
+    def test_reliable_levels_get_narrow_beams(self):
+        model = LevelErrorModel(pe=np.array([1e-6, 0.3, 0.7]))
+        widths = beam_widths_for_model(model, coverage=0.99, max_width=16)
+        assert widths[0] == 1
+        assert widths[0] < widths[1] < widths[2]
+
+    def test_widths_bounded(self):
+        model = LevelErrorModel(pe=np.array([0.999, 0.5]))
+        widths = beam_widths_for_model(model, coverage=0.999, max_width=8)
+        assert widths.max() <= 8
+        assert widths.min() >= 1
+
+    def test_higher_coverage_widens(self):
+        model = LevelErrorModel(pe=np.array([0.4, 0.4]))
+        narrow = beam_widths_for_model(model, 0.9, 64)
+        wide = beam_widths_for_model(model, 0.9999, 64)
+        assert (wide >= narrow).all()
+
+    def test_invalid_coverage(self):
+        model = LevelErrorModel(pe=np.array([0.3]))
+        with pytest.raises(ConfigurationError):
+            beam_widths_for_model(model, 1.0, 8)
+
+
+class TestDetection:
+    def test_noiseless_recovery(self, small_system, rng):
+        channel, indices, received, _ = random_link(
+            small_system, 200.0, 25, rng
+        )
+        detector = AdaptiveKBestDetector(small_system)
+        result = detector.detect(channel, received, 1e-16)
+        assert np.array_equal(result.indices, indices)
+
+    def test_metadata_reports_widths(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 14.0, 5, rng
+        )
+        result = AdaptiveKBestDetector(small_system).detect(
+            channel, received, noise_var
+        )
+        widths = result.metadata["beam_widths"]
+        assert len(widths) == 3
+        assert all(w >= 1 for w in widths)
+
+    def test_widths_shrink_at_high_snr(self, small_system, rng):
+        channel, _, _, _ = random_link(small_system, 10.0, 1, rng)
+        detector = AdaptiveKBestDetector(small_system)
+        wide = detector.prepare(channel, 0.5).beam_widths
+        narrow = detector.prepare(channel, 0.001).beam_widths
+        assert narrow.sum() <= wide.sum()
+
+    def test_competitive_with_fixed_kbest(self, small_system):
+        """Adaptive beams match a fixed K of similar average size."""
+        adaptive_errors = fixed_errors = 0
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            channel, indices, received, noise_var = random_link(
+                small_system, 10.0, 30, rng
+            )
+            adaptive = AdaptiveKBestDetector(
+                small_system, coverage=0.995
+            ).detect(channel, received, noise_var)
+            fixed = KBestDetector(small_system, k=4).detect(
+                channel, received, noise_var
+            )
+            adaptive_errors += np.count_nonzero(
+                (adaptive.indices != indices).any(axis=1)
+            )
+            fixed_errors += np.count_nonzero(
+                (fixed.indices != indices).any(axis=1)
+            )
+        assert adaptive_errors <= fixed_errors * 1.5 + 5
+
+    def test_invalid_coverage(self, small_system):
+        with pytest.raises(ConfigurationError):
+            AdaptiveKBestDetector(small_system, coverage=1.5)

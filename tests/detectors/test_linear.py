@@ -1,0 +1,77 @@
+"""Tests for ZF and MMSE detectors."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.linear import MmseDetector, ZfDetector
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from tests.conftest import random_link
+
+
+class TestNoiseless:
+    @pytest.mark.parametrize("cls", [ZfDetector, MmseDetector])
+    def test_exact_recovery(self, cls, small_system, rng):
+        channel, indices, received, _ = random_link(
+            small_system, 200.0, 50, rng
+        )
+        detector = cls(small_system)
+        result = detector.detect(channel, received, 1e-20)
+        assert np.array_equal(result.indices, indices)
+
+
+class TestStatistical:
+    def test_mmse_at_least_as_good_as_zf(self, rng):
+        """At low SNR with Nt = Nr, MMSE's regularisation must help."""
+        system = MimoSystem(4, 4, QamConstellation(16))
+        zf_errors = mmse_errors = 0
+        for seed in range(30):
+            local = np.random.default_rng(seed)
+            channel, indices, received, noise_var = random_link(
+                system, 10.0, 40, local
+            )
+            zf = ZfDetector(system).detect(channel, received, noise_var)
+            mmse = MmseDetector(system).detect(channel, received, noise_var)
+            zf_errors += np.count_nonzero(zf.indices != indices)
+            mmse_errors += np.count_nonzero(mmse.indices != indices)
+        assert mmse_errors <= zf_errors
+
+    def test_tall_system_improves_linear(self, rng):
+        """More AP antennas than users: linear detection gets good."""
+        square = MimoSystem(4, 4, QamConstellation(16))
+        tall = MimoSystem(4, 8, QamConstellation(16))
+        errors = {}
+        for name, system in (("square", square), ("tall", tall)):
+            count = 0
+            for seed in range(20):
+                local = np.random.default_rng(seed)
+                channel, indices, received, noise_var = random_link(
+                    system, 12.0, 50, local
+                )
+                result = MmseDetector(system).detect(
+                    channel, received, noise_var
+                )
+                count += np.count_nonzero(result.indices != indices)
+            errors[name] = count
+        assert errors["tall"] < errors["square"]
+
+
+class TestInterface:
+    def test_prepare_reuse(self, small_system, rng):
+        channel, indices, received, noise_var = random_link(
+            small_system, 25.0, 10, rng
+        )
+        detector = MmseDetector(small_system)
+        context = detector.prepare(channel, noise_var)
+        first = detector.detect_prepared(context, received)
+        second = detector.detect_prepared(context, received)
+        assert np.array_equal(first.indices, second.indices)
+
+    def test_single_vector_accepted(self, small_system, rng):
+        channel, indices, received, noise_var = random_link(
+            small_system, 25.0, 1, rng
+        )
+        result = ZfDetector(small_system).detect(
+            channel, received[0], noise_var
+        )
+        assert result.indices.shape == (1, 3)

@@ -1,0 +1,70 @@
+"""Tests for exhaustive ML detection."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ml import MlDetector, enumerate_symbol_vectors
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from tests.conftest import random_link
+
+
+class TestEnumeration:
+    def test_all_vectors_enumerated(self):
+        system = MimoSystem(2, 2, QamConstellation(4))
+        candidates = enumerate_symbol_vectors(system)
+        assert candidates.shape == (16, 2)
+        assert np.unique(candidates, axis=0).shape[0] == 16
+
+    def test_infeasible_size_rejected(self):
+        system = MimoSystem(12, 12, QamConstellation(64))
+        with pytest.raises(ConfigurationError):
+            enumerate_symbol_vectors(system)
+
+
+class TestDetection:
+    def test_matches_naive_search(self, rng):
+        system = MimoSystem(2, 2, QamConstellation(16))
+        channel, indices, received, noise_var = random_link(
+            system, 8.0, 20, rng
+        )
+        detector = MlDetector(system)
+        result = detector.detect(channel, received, noise_var)
+        # Naive reference: loop every candidate for every vector.
+        candidates = enumerate_symbol_vectors(system)
+        symbols = system.constellation.points[candidates]
+        projected = symbols @ channel.T
+        for row in range(received.shape[0]):
+            metrics = np.sum(
+                np.abs(received[row] - projected) ** 2, axis=1
+            )
+            best = candidates[np.argmin(metrics)]
+            assert np.array_equal(result.indices[row], best)
+
+    def test_chunking_consistent(self, rng):
+        system = MimoSystem(2, 2, QamConstellation(16))
+        channel, indices, received, noise_var = random_link(
+            system, 10.0, 30, rng
+        )
+        big = MlDetector(system, chunk_size=1 << 16)
+        small = MlDetector(system, chunk_size=4)
+        assert np.array_equal(
+            big.detect(channel, received, noise_var).indices,
+            small.detect(channel, received, noise_var).indices,
+        )
+
+    def test_noiseless_exact(self, small_system, rng):
+        channel, indices, received, _ = random_link(
+            small_system, 200.0, 20, rng
+        )
+        result = MlDetector(small_system).detect(channel, received, 1e-20)
+        assert np.array_equal(result.indices, indices)
+
+    def test_metadata_contains_min_distance(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 15.0, 5, rng
+        )
+        result = MlDetector(small_system).detect(channel, received, noise_var)
+        assert result.metadata["min_distance_sq"].shape == (5,)
+        assert (result.metadata["min_distance_sq"] >= 0).all()

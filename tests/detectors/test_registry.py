@@ -1,0 +1,29 @@
+"""Tests for the detector registry."""
+
+import pytest
+
+from repro.detectors.base import Detector
+from repro.detectors.registry import available_detectors, make_detector
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_names_construct(self, small_system):
+        for name in available_detectors():
+            kwargs = {}
+            if name in ("flexcore", "a-flexcore", "soft-flexcore"):
+                kwargs["num_paths"] = 8
+            detector = make_detector(name, small_system, **kwargs)
+            assert isinstance(detector, Detector)
+
+    def test_geosphere_alias(self, small_system):
+        detector = make_detector("geosphere", small_system)
+        assert detector.name == "sphere"
+
+    def test_unknown_name_raises(self, small_system):
+        with pytest.raises(ConfigurationError):
+            make_detector("turbo", small_system)
+
+    def test_kwargs_forwarded(self, small_system):
+        detector = make_detector("kbest", small_system, k=7)
+        assert detector.k == 7

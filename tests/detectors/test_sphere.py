@@ -1,0 +1,109 @@
+"""Tests for the depth-first sphere decoder (exact ML)."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ml import MlDetector
+from repro.detectors.sphere import SphereDecoder
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.utils.flops import FlopCounter
+from tests.conftest import random_link
+
+
+class TestExactness:
+    @pytest.mark.parametrize("snr_db", [5.0, 10.0, 20.0])
+    def test_equals_ml_exactly(self, snr_db, small_system):
+        """The headline invariant: sphere decoding IS ML detection."""
+        ml = MlDetector(small_system)
+        sphere = SphereDecoder(small_system)
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            channel, _, received, noise_var = random_link(
+                small_system, snr_db, 25, rng
+            )
+            ml_result = ml.detect(channel, received, noise_var)
+            sd_result = sphere.detect(channel, received, noise_var)
+            assert np.array_equal(ml_result.indices, sd_result.indices)
+
+    def test_equals_ml_with_plain_qr(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 10.0, 20, rng
+        )
+        ml = MlDetector(small_system).detect(channel, received, noise_var)
+        sd = SphereDecoder(small_system, qr_method="plain").detect(
+            channel, received, noise_var
+        )
+        assert np.array_equal(ml.indices, sd.indices)
+
+    def test_tall_system(self, rng):
+        system = MimoSystem(3, 6, QamConstellation(16))
+        channel, _, received, noise_var = random_link(system, 10.0, 20, rng)
+        ml = MlDetector(system).detect(channel, received, noise_var)
+        sd = SphereDecoder(system).detect(channel, received, noise_var)
+        assert np.array_equal(ml.indices, sd.indices)
+
+
+class TestComplexityBehaviour:
+    def test_nodes_grow_as_snr_drops(self, small_system):
+        """Depth-first SD adapts complexity to channel conditions (§2)."""
+        nodes = {}
+        for snr_db in (25.0, 5.0):
+            total = 0
+            for seed in range(8):
+                rng = np.random.default_rng(seed)
+                channel, _, received, noise_var = random_link(
+                    small_system, snr_db, 20, rng
+                )
+                result = SphereDecoder(small_system).detect(
+                    channel, received, noise_var
+                )
+                total += result.metadata["nodes_visited"]
+            nodes[snr_db] = total
+        assert nodes[5.0] > nodes[25.0]
+
+    def test_minimum_nodes_is_tree_height(self, small_system, rng):
+        """At very high SNR the search dives straight to the Babai leaf."""
+        channel, _, received, _ = random_link(small_system, 200.0, 10, rng)
+        result = SphereDecoder(small_system).detect(channel, received, 1e-12)
+        assert result.metadata["nodes_visited"] >= 3 * 10  # >= Nt per vector
+
+    def test_flop_counter_charged(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 15.0, 10, rng
+        )
+        counter = FlopCounter()
+        SphereDecoder(small_system).detect(
+            channel, received, noise_var, counter=counter
+        )
+        assert counter.real_mults > 0
+        assert counter.nodes_visited > 0
+
+
+class TestMaxNodes:
+    def test_cap_returns_valid_decision(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 3.0, 20, rng
+        )
+        capped = SphereDecoder(small_system, max_nodes=4)
+        result = capped.detect(channel, received, noise_var)
+        assert result.indices.shape == (20, 3)
+        assert (result.indices >= 0).all()
+        assert (result.indices < 16).all()
+
+    def test_generous_cap_still_ml(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 15.0, 10, rng
+        )
+        ml = MlDetector(small_system).detect(channel, received, noise_var)
+        capped = SphereDecoder(small_system, max_nodes=100000).detect(
+            channel, received, noise_var
+        )
+        assert np.array_equal(ml.indices, capped.indices)
+
+
+class TestValidation:
+    def test_unknown_qr_method(self, small_system):
+        with pytest.raises(ConfigurationError):
+            SphereDecoder(small_system, qr_method="magic")

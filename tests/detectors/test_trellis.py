@@ -1,0 +1,76 @@
+"""Tests for the trellis-based parallel detector [50]."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.linear import MmseDetector
+from repro.detectors.ml import MlDetector
+from repro.detectors.trellis import TrellisDetector
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from tests.conftest import random_link
+
+
+class TestTrellis:
+    def test_fixed_pe_count(self, small_system):
+        assert TrellisDetector(small_system).num_paths == 16
+
+    def test_noiseless_recovery(self, small_system, rng):
+        channel, indices, received, _ = random_link(
+            small_system, 200.0, 25, rng
+        )
+        result = TrellisDetector(small_system).detect(channel, received, 1e-16)
+        assert np.array_equal(result.indices, indices)
+
+    def test_two_level_tree_is_ml(self, rng):
+        """With Nt=2 the trellis keeps the best predecessor per symbol,
+        which covers every leaf: exact ML."""
+        system = MimoSystem(2, 2, QamConstellation(16))
+        ml = MlDetector(system)
+        trellis = TrellisDetector(system)
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            channel, _, received, noise_var = random_link(
+                system, 6.0, 25, local
+            )
+            assert np.array_equal(
+                trellis.detect(channel, received, noise_var).indices,
+                ml.detect(channel, received, noise_var).indices,
+            )
+
+    def test_between_mmse_and_ml(self):
+        """Fig. 9's ordering: MMSE <= trellis <= ML in vector errors."""
+        system = MimoSystem(4, 4, QamConstellation(16))
+        errors = {"mmse": 0, "trellis": 0, "ml": 0}
+        detectors = {
+            "mmse": MmseDetector(system),
+            "trellis": TrellisDetector(system),
+            "ml": MlDetector(system),
+        }
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            channel, indices, received, noise_var = random_link(
+                system, 11.0, 30, rng
+            )
+            for name, detector in detectors.items():
+                result = detector.detect(channel, received, noise_var)
+                errors[name] += np.count_nonzero(
+                    (result.indices != indices).any(axis=1)
+                )
+        assert errors["ml"] <= errors["trellis"] <= errors["mmse"]
+
+    def test_chunking_consistent(self, small_system, rng):
+        import repro.detectors.trellis as trellis_module
+
+        channel, _, received, noise_var = random_link(
+            small_system, 12.0, 30, rng
+        )
+        detector = TrellisDetector(small_system)
+        full = detector.detect(channel, received, noise_var).indices
+        original = trellis_module.MAX_CHUNK_ELEMENTS
+        try:
+            trellis_module.MAX_CHUNK_ELEMENTS = 512
+            chunked = detector.detect(channel, received, noise_var).indices
+        finally:
+            trellis_module.MAX_CHUNK_ELEMENTS = original
+        assert np.array_equal(full, chunked)

@@ -1,0 +1,81 @@
+"""Tests for experiment infrastructure."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    PROFILES,
+    ExperimentProfile,
+    ExperimentResult,
+    get_profile,
+)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"quick", "medium", "full"}
+
+    def test_default_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "quick"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "medium")
+        assert get_profile().name == "medium"
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "medium")
+        assert get_profile("full").name == "full"
+
+    def test_profile_object_passthrough(self):
+        profile = PROFILES["quick"]
+        assert get_profile(profile) is profile
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExperimentError):
+            get_profile("turbo")
+
+    def test_scaled(self):
+        scaled = PROFILES["medium"].scaled(0.5)
+        assert scaled.packets_per_point == 30
+        assert scaled.name.startswith("medium")
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult(
+            experiment="demo",
+            title="Demo",
+            profile="quick",
+            columns=["x", "y"],
+        )
+        result.add_row(x=1, y=2.0)
+        result.add_row(x=2, y=3.5)
+        return result
+
+    def test_add_row_validates_columns(self):
+        result = self._result()
+        with pytest.raises(ExperimentError):
+            result.add_row(x=1)
+
+    def test_text_table_renders(self):
+        text = self._result().to_text_table()
+        assert "Demo" in text
+        assert "x" in text and "y" in text
+
+    def test_json_roundtrip(self, tmp_path):
+        result = self._result()
+        result.add_note("a note")
+        path = tmp_path / "demo.json"
+        result.save_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "demo"
+        assert payload["rows"][0]["x"] == 1
+        assert payload["notes"] == ["a note"]
+
+    def test_column_and_filter(self):
+        result = self._result()
+        assert result.column("x") == [1, 2]
+        assert result.filtered(x=2)[0]["y"] == 3.5

@@ -1,0 +1,211 @@
+"""Smoke tests for the Monte-Carlo experiments at a tiny profile.
+
+These verify harness plumbing (row structure, note generation, basic
+sanity of numbers), not statistical quality — that is what the medium/full
+profiles and EXPERIMENTS.md are for.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import ablations, fig9, fig10, fig12, fig14, table1, table2
+from repro.experiments.common import PROFILES
+
+TINY = PROFILES["quick"].scaled(0.25)
+
+
+@pytest.fixture(scope="module")
+def fig9_result():
+    return fig9.run(TINY, panels=((4, 16),), targets=(0.1,))
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run(TINY)
+
+    def test_rows_for_all_sizes(self, result):
+        assert [row["antennas"] for row in result.rows] == [
+            "2x2",
+            "4x4",
+            "6x6",
+            "8x8",
+        ]
+
+    def test_complexity_grows_superlinearly(self, result):
+        gflops = result.column("gflops_required")
+        assert gflops[-1] > 2 * gflops[0]
+
+    def test_throughput_grows(self, result):
+        throughput = result.column("throughput_mbps")
+        assert throughput[-1] > throughput[0]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run(TINY)
+
+    def test_four_rows(self, result):
+        assert len(result.rows) == 4
+
+    def test_qr_convention(self, result):
+        row = result.filtered(system="8x8", num_pes=32)[0]
+        assert row["qr_mults"] == 2048
+        row12 = result.filtered(system="12x12", num_pes=32)[0]
+        assert row12["qr_mults"] == 6912
+
+    def test_preproc_magnitude_matches_paper(self, result):
+        """Measured tree multiplications are in the paper's range."""
+        for row in result.rows:
+            assert 0.2 * row["paper_preproc"] < row["preproc_mults"] < 5 * row[
+                "paper_preproc"
+            ]
+
+    def test_detection_scales_with_pes(self, result):
+        small = result.filtered(system="8x8", num_pes=32)[0]["detect_mults"]
+        large = result.filtered(system="8x8", num_pes=128)[0]["detect_mults"]
+        assert large == pytest.approx(4 * small, rel=0.05)
+
+    def test_parallelizability(self, result):
+        row = result.filtered(system="12x12", num_pes=128)[0]
+        assert row["preproc_parallel"] == 12
+        assert row["detect_parallel"] == 128
+
+
+class TestFig9:
+    def test_row_structure(self, fig9_result):
+        schemes = {row["scheme"] for row in fig9_result.rows}
+        assert {"ml", "mmse", "trellis", "fcsd", "flexcore"} <= schemes
+
+    def test_flexcore_sweep_is_flexible(self, fig9_result):
+        counts = sorted(
+            row["num_pes"]
+            for row in fig9_result.rows
+            if row["scheme"] == "flexcore"
+        )
+        assert len(counts) >= 3
+        # Includes non-powers of the constellation order.
+        assert any(count % 16 != 0 for count in counts)
+
+    def test_throughput_consistent_with_per(self, fig9_result):
+        for row in fig9_result.rows:
+            expected = 4 * 24.0 * (1 - row["per"])
+            assert row["throughput_mbps"] == pytest.approx(expected, rel=1e-6)
+
+    def test_flexcore_improves_with_pes(self, fig9_result):
+        rows = sorted(
+            (
+                row
+                for row in fig9_result.rows
+                if row["scheme"] == "flexcore"
+            ),
+            key=lambda row: row["num_pes"],
+        )
+        assert rows[-1]["per"] <= rows[0]["per"] + 0.05
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(TINY)
+
+    def test_schemes_and_users(self, result):
+        schemes = {row["scheme"] for row in result.rows}
+        assert schemes == {"geosphere", "flexcore", "a-flexcore", "mmse"}
+        users = {row["num_users"] for row in result.rows}
+        assert 12 in users and min(users) <= 8
+
+    def test_aflexcore_reports_active_pes(self, result):
+        rows = result.filtered(scheme="a-flexcore")
+        assert all(not math.isnan(row["avg_active_pes"]) for row in rows)
+        assert all(1.0 <= row["avg_active_pes"] <= 64.0 for row in rows)
+
+    def test_aflexcore_scales_activation_with_load(self, result):
+        rows = sorted(
+            result.filtered(scheme="a-flexcore"),
+            key=lambda row: row["num_users"],
+        )
+        assert rows[0]["avg_active_pes"] <= rows[-1]["avg_active_pes"]
+
+    def test_mmse_degrades_at_full_load(self, result):
+        light = result.filtered(scheme="mmse", num_users=min(
+            row["num_users"] for row in result.rows
+        ))[0]
+        full = result.filtered(scheme="mmse", num_users=12)[0]
+        assert full["per"] >= light["per"]
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12.run(TINY, per_targets=(0.1,), sizes=(8,))
+
+    def test_modes_covered(self, result):
+        modes = {row["lte_mode"] for row in result.rows}
+        assert len(modes) == 6
+
+    def test_flexcore_supported_everywhere(self, result):
+        rows = result.filtered(scheme="flexcore")
+        assert all(row["supported_paths"] >= 1 for row in rows)
+
+    def test_fcsd_unsupported_beyond_narrowest(self, result):
+        wide = [
+            row
+            for row in result.filtered(scheme="fcsd")
+            if row["lte_mode"] != "1.25 MHz"
+        ]
+        assert all(math.isinf(row["snr_loss_db"]) for row in wide)
+
+    def test_sic_loss_largest(self, result):
+        for mode in ("1.25 MHz", "20 MHz"):
+            sic = result.filtered(scheme="sic", lte_mode=mode)[0]
+            flexcore = result.filtered(scheme="flexcore", lte_mode=mode)[0]
+            assert sic["snr_loss_db"] >= flexcore["snr_loss_db"] - 1e-9
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14.run(TINY)
+
+    def test_shape(self, result):
+        assert len(result.rows) == 20  # 2 SNRs x 10 ranks
+
+    def test_model_tracks_simulation(self, result):
+        for row in result.rows:
+            if row["rank"] <= 2:
+                assert row["model"] == pytest.approx(
+                    row["simulated"], abs=0.08
+                )
+
+    def test_corrected_model_beats_literal_at_low_snr(self, result):
+        low = [row for row in result.rows if row["snr_db"] == 1.0]
+        corrected_error = sum(
+            abs(row["model"] - row["simulated"]) for row in low
+        )
+        literal_error = sum(
+            abs(row["model_paper"] - row["simulated"]) for row in low
+        )
+        assert corrected_error < literal_error
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run(TINY)
+
+    def test_all_ablations_present(self, result):
+        kinds = {row["ablation"] for row in result.rows}
+        assert kinds == {
+            "ordering",
+            "qr_method",
+            "pe_formula",
+            "batch_expansion",
+        }
+
+    def test_rates_are_probabilities(self, result):
+        assert all(
+            0.0 <= row["vector_error_rate"] <= 1.0 for row in result.rows
+        )

@@ -1,0 +1,85 @@
+"""Tests for shared link-experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.sphere import SphereDecoder
+from repro.experiments.common import PROFILES
+from repro.experiments.linkruns import (
+    calibrate_ml_snr,
+    flexcore_pe_sweep,
+    make_link_config,
+    make_sampler_factory,
+    ml_reference_detector,
+    run_point,
+)
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+TINY = PROFILES["quick"].scaled(0.25)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return MimoSystem(4, 4, QamConstellation(16))
+
+
+class TestConfig:
+    def test_link_config_respects_profile(self, system):
+        config = make_link_config(system, TINY)
+        assert config.subcarriers_used == TINY.subcarriers
+        assert config.ofdm_symbols_per_packet == TINY.ofdm_symbols_per_packet
+
+    def test_sampler_factory_deterministic(self, system):
+        config = make_link_config(system, TINY)
+        factory = make_sampler_factory(config, TINY, "testbed")
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        first = factory()(0, rng_a)
+        second = factory()(0, rng_b)
+        assert np.allclose(first, second)
+
+    def test_rayleigh_factory(self, system):
+        config = make_link_config(system, TINY)
+        factory = make_sampler_factory(config, TINY, "rayleigh")
+        channels = factory()(0, np.random.default_rng(1))
+        assert channels.shape == (TINY.subcarriers, 4, 4)
+
+
+class TestMlReference:
+    def test_proxy_in_cheap_profiles(self, system):
+        detector = ml_reference_detector(system, TINY)
+        assert isinstance(detector, FlexCoreDetector)
+        assert detector.num_paths <= TINY.ml_proxy_paths
+
+    def test_sphere_in_full_profile(self, system):
+        detector = ml_reference_detector(system, PROFILES["full"])
+        assert isinstance(detector, SphereDecoder)
+
+    def test_proxy_capped_by_tree_size(self):
+        tiny_tree = MimoSystem(2, 2, QamConstellation(4))
+        detector = ml_reference_detector(tiny_tree, TINY)
+        assert detector.num_paths <= 16
+
+
+class TestSweep:
+    def test_quick_sweep_contents(self):
+        sweep = flexcore_pe_sweep(10_000, TINY)
+        assert sweep[0] == 1
+        assert 196 in sweep
+
+    def test_sweep_respects_tree_size(self):
+        sweep = flexcore_pe_sweep(20, TINY)
+        assert max(sweep) <= 20
+
+
+class TestRunPoint:
+    def test_calibration_then_point(self, system):
+        snr = calibrate_ml_snr(system, 0.2, TINY, "testbed")
+        config = make_link_config(system, TINY)
+        factory = make_sampler_factory(config, TINY, "testbed")
+        detector = ml_reference_detector(system, TINY)
+        link = run_point(config, detector, snr, TINY, factory)
+        # Tiny-profile statistics are loose; just sanity-band the PER.
+        assert 0.0 <= link.per <= 0.8

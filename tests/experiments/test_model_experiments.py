@@ -1,0 +1,113 @@
+"""Tests for the model-driven experiments (fast: no Monte-Carlo)."""
+
+import math
+
+import pytest
+
+from repro.experiments import fig11, fig13, table3
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run("quick")
+
+    def test_all_series_present(self, result):
+        series = {row["series"] for row in result.rows}
+        assert "flexcore_nsc64" in series
+        assert "flexcore_nsc16384" in series
+        assert "openmp_8" in series
+
+    def test_speedup_decreases_with_paths(self, result):
+        for nsc in (64, 1024, 16384):
+            rows = [
+                row
+                for row in result.rows
+                if row["series"] == f"flexcore_nsc{nsc}"
+                and row["expansion"] == 2
+            ]
+            speedups = [row["speedup"] for row in rows]
+            assert all(a >= b for a, b in zip(speedups, speedups[1:]))
+
+    def test_l2_above_l1(self, result):
+        for paths in (32, 128, 512):
+            by_level = {
+                row["expansion"]: row["speedup"]
+                for row in result.rows
+                if row["series"] == "flexcore_nsc1024"
+                and row["num_paths"] == paths
+            }
+            assert by_level[2] > by_level[1]
+
+    def test_cpu_lines_below_gpu_baseline(self, result):
+        cpu_rows = [
+            row for row in result.rows if row["series"].startswith("openmp")
+        ]
+        assert cpu_rows
+        assert all(row["speedup"] < 0.2 for row in cpu_rows)
+
+    def test_headline_notes(self, result):
+        notes = " ".join(result.notes)
+        assert "19x" in notes or "paper: 19x" in notes
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run("quick")
+
+    def test_paper_rows_reproduced(self, result):
+        flexcore8 = result.filtered(scheme="flexcore", system="8x8")[0]
+        assert flexcore8["logic_luts"] == 3206
+        assert flexcore8["dsp48"] == 16
+        fcsd12 = result.filtered(scheme="fcsd", system="12x12")[0]
+        assert fcsd12["logic_luts"] == 4364
+
+    def test_extension_rows_present(self, result):
+        sixteen = result.filtered(system="16x16")
+        assert len(sixteen) == 2
+        assert all(math.isnan(row["paper_logic_luts"]) for row in sixteen)
+
+    def test_adp_ratio_above_one(self, result):
+        for row in result.filtered(scheme="flexcore"):
+            assert row["adp_vs_fcsd"] > 1.0
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13.run("quick")
+
+    def test_energy_decreases_with_pes(self, result):
+        for scheme in ("flexcore", "fcsd"):
+            rows = [
+                row
+                for row in result.rows
+                if row["scheme"] == scheme
+                and row["system"] == "12x12"
+                and row["expansion"] == 2
+            ]
+            energies = [row["joules_per_bit"] for row in rows]
+            assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_flexcore_beats_fcsd_at_matched_pes(self, result):
+        flex = {
+            row["num_pes"]: row["joules_per_bit"]
+            for row in result.rows
+            if row["scheme"] == "flexcore"
+            and row["system"] == "12x12"
+            and row["expansion"] == 2
+        }
+        fcsd = {
+            row["num_pes"]: row["joules_per_bit"]
+            for row in result.rows
+            if row["scheme"] == "fcsd"
+            and row["system"] == "12x12"
+            and row["expansion"] == 2
+        }
+        for num_pes in set(flex) & set(fcsd):
+            assert fcsd[num_pes] > flex[num_pes]
+
+    def test_13gbps_note_present(self, result):
+        notes = " ".join(result.notes)
+        assert "13.09" in notes

@@ -1,0 +1,85 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (
+    load_results,
+    main,
+    render_markdown_table,
+    render_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    result = ExperimentResult(
+        experiment="fig11",
+        title="Fig 11",
+        profile="quick",
+        columns=["series", "speedup"],
+    )
+    result.add_row(series="flexcore_nsc64", speedup=12.5)
+    result.save_json(tmp_path / "fig11.json")
+    return tmp_path
+
+
+class TestLoad:
+    def test_loads_by_stem(self, results_dir):
+        results = load_results([results_dir])
+        assert "fig11" in results
+        assert results["fig11"]["profile"] == "quick"
+
+    def test_earlier_directory_wins(self, results_dir, tmp_path):
+        override = tmp_path / "override"
+        override.mkdir()
+        payload = json.loads((results_dir / "fig11.json").read_text())
+        payload["profile"] = "medium"
+        (override / "fig11.json").write_text(json.dumps(payload))
+        results = load_results([override, results_dir])
+        assert results["fig11"]["profile"] == "medium"
+
+    def test_missing_directory_ignored(self, results_dir, tmp_path):
+        results = load_results([tmp_path / "missing", results_dir])
+        assert "fig11" in results
+
+
+class TestRender:
+    def test_table_renders_all_columns(self, results_dir):
+        payload = load_results([results_dir])["fig11"]
+        table = render_markdown_table(payload)
+        assert "| series | speedup |" in table
+        assert "12.5" in table
+
+    def test_report_covers_every_experiment(self, results_dir):
+        report = render_report(load_results([results_dir]))
+        for name in ("table1", "fig9", "fig14", "fig11"):
+            assert f"## {name}" in report
+        assert "(no saved results" in report  # the missing ones
+
+    def test_row_cap(self):
+        result = ExperimentResult(
+            experiment="x", title="x", profile="quick", columns=["v"]
+        )
+        for value in range(100):
+            result.add_row(v=value)
+        payload = {
+            "columns": result.columns,
+            "rows": result.rows,
+            "profile": "quick",
+            "experiment": "x",
+        }
+        table = render_markdown_table(payload, max_rows=10)
+        assert "more rows" in table
+
+
+class TestCli:
+    def test_main_prints_report(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "EXPERIMENTS" in out
+
+    def test_main_requires_args(self, capsys):
+        assert main([]) == 2

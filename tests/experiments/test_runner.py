@@ -1,0 +1,58 @@
+"""Tests for the experiment CLI runner."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_every_paper_artefact_has_an_experiment(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "ablations",
+            "soft_gain",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCli:
+    def test_requires_experiment_or_all(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_runs_model_experiment(self, capsys):
+        code = main(["--experiment", "table3", "--profile", "quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "flexcore" in out
+
+    def test_saves_json(self, tmp_path, capsys):
+        code = main(
+            [
+                "--experiment",
+                "fig11",
+                "--profile",
+                "quick",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "fig11.json").read_text())
+        assert payload["experiment"] == "fig11"
+        assert payload["rows"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "fig99"])

@@ -1,0 +1,177 @@
+"""Tests for the FlexCore parallel detection engine."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.ml import MlDetector
+from repro.errors import ConfigurationError
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.utils.flops import FlopCounter
+from tests.conftest import random_link
+
+
+class TestMlEquivalence:
+    def test_full_paths_exact_ordering_is_ml(self):
+        """Evaluating every position vector with exact per-level sorting
+        enumerates every leaf: FlexCore degenerates to exact ML."""
+        system = MimoSystem(3, 3, QamConstellation(4))
+        ml = MlDetector(system)
+        flexcore = FlexCoreDetector(
+            system, num_paths=4**3, use_exact_ordering=True
+        )
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            channel, _, received, noise_var = random_link(
+                system, 4.0, 30, rng
+            )
+            assert np.array_equal(
+                flexcore.detect(channel, received, noise_var).indices,
+                ml.detect(channel, received, noise_var).indices,
+            )
+
+    def test_lut_full_paths_near_ml(self):
+        """With the triangle LUT the full-path detector is near-ML (the
+        approximation can miss leaves whose LUT rank exceeds |Q|)."""
+        system = MimoSystem(3, 3, QamConstellation(16))
+        ml = MlDetector(system)
+        flexcore = FlexCoreDetector(system, num_paths=16**3)
+        mismatches = 0
+        total = 0
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            channel, _, received, noise_var = random_link(
+                system, 8.0, 50, rng
+            )
+            fx = flexcore.detect(channel, received, noise_var).indices
+            reference = ml.detect(channel, received, noise_var).indices
+            mismatches += np.count_nonzero((fx != reference).any(axis=1))
+            total += 50
+        assert mismatches / total < 0.05
+
+
+class TestBehaviour:
+    def test_noiseless_recovery_single_path(self, small_system, rng):
+        channel, indices, received, _ = random_link(
+            small_system, 200.0, 25, rng
+        )
+        detector = FlexCoreDetector(small_system, num_paths=1)
+        result = detector.detect(channel, received, 1e-16)
+        assert np.array_equal(result.indices, indices)
+
+    def test_arbitrary_path_counts_accepted(self, small_system, rng):
+        """The headline flexibility claim: any PE count works."""
+        channel, _, received, noise_var = random_link(
+            small_system, 12.0, 10, rng
+        )
+        for paths in (1, 3, 7, 13, 50, 100):
+            detector = FlexCoreDetector(small_system, num_paths=paths)
+            result = detector.detect(channel, received, noise_var)
+            assert result.indices.shape == (10, 3)
+            assert result.metadata["paths"] == paths
+
+    def test_more_paths_never_hurt_much(self, small_system):
+        """Vector error rate improves (monotone in expectation) with PEs."""
+        errors = {}
+        for paths in (1, 8, 64):
+            detector = FlexCoreDetector(small_system, num_paths=paths)
+            count = 0
+            for seed in range(15):
+                rng = np.random.default_rng(seed)
+                channel, indices, received, noise_var = random_link(
+                    small_system, 9.0, 30, rng
+                )
+                result = detector.detect(channel, received, noise_var)
+                count += np.count_nonzero(
+                    (result.indices != indices).any(axis=1)
+                )
+            errors[paths] = count
+        assert errors[64] < errors[1]
+        assert errors[8] <= errors[1]
+
+    def test_always_produces_decision(self, small_system, rng):
+        """Deactivation can kill paths but never all of them."""
+        channel, _, received, noise_var = random_link(
+            small_system, 0.0, 100, rng
+        )
+        detector = FlexCoreDetector(small_system, num_paths=32)
+        result = detector.detect(channel, received, noise_var)
+        assert (result.indices >= 0).all()
+        assert (result.indices < 16).all()
+
+    def test_qr_variants(self, small_system, rng):
+        channel, indices, received, noise_var = random_link(
+            small_system, 18.0, 30, rng
+        )
+        for method in ("sorted", "fcsd", "plain"):
+            detector = FlexCoreDetector(
+                small_system, num_paths=16, qr_method=method
+            )
+            result = detector.detect(channel, received, noise_var)
+            errors = np.count_nonzero((result.indices != indices).any(axis=1))
+            assert errors <= 3
+
+    def test_tall_system(self, rng):
+        system = MimoSystem(4, 8, QamConstellation(16))
+        channel, indices, received, noise_var = random_link(
+            system, 14.0, 30, rng
+        )
+        detector = FlexCoreDetector(system, num_paths=16)
+        result = detector.detect(channel, received, noise_var)
+        errors = np.count_nonzero(result.indices != indices)
+        assert errors <= 6
+
+    def test_counter_charged(self, small_system, rng):
+        channel, _, received, noise_var = random_link(
+            small_system, 12.0, 5, rng
+        )
+        counter = FlopCounter()
+        FlexCoreDetector(small_system, num_paths=8).detect(
+            channel, received, noise_var, counter=counter
+        )
+        assert counter.real_mults > 0
+
+    def test_chunking_consistent(self, small_system, rng):
+        import repro.flexcore.detector as detector_module
+
+        channel, _, received, noise_var = random_link(
+            small_system, 12.0, 40, rng
+        )
+        detector = FlexCoreDetector(small_system, num_paths=32)
+        full = detector.detect(channel, received, noise_var).indices
+        original = detector_module.MAX_CHUNK_ELEMENTS
+        try:
+            detector_module.MAX_CHUNK_ELEMENTS = 128
+            chunked = detector.detect(channel, received, noise_var).indices
+        finally:
+            detector_module.MAX_CHUNK_ELEMENTS = original
+        assert np.array_equal(full, chunked)
+
+
+class TestContext:
+    def test_context_exposes_preprocessing(self, small_system, rng):
+        channel, _, _, noise_var = random_link(small_system, 12.0, 1, rng)
+        detector = FlexCoreDetector(small_system, num_paths=10)
+        context = detector.prepare(channel, noise_var)
+        assert context.preprocessing.position_vectors.shape == (10, 3)
+        assert context.active_paths == 10
+        assert context.position_vectors.shape == (10, 3)
+
+    def test_stop_threshold_limits_paths(self, small_system, rng):
+        channel, _, _, _ = random_link(small_system, 35.0, 1, rng)
+        detector = FlexCoreDetector(
+            small_system, num_paths=64, stop_threshold=0.9
+        )
+        context = detector.prepare(channel, 1e-4)
+        assert context.preprocessing.position_vectors.shape[0] < 64
+
+
+class TestValidation:
+    def test_bad_paths(self, small_system):
+        with pytest.raises(ConfigurationError):
+            FlexCoreDetector(small_system, num_paths=0)
+
+    def test_bad_qr_method(self, small_system):
+        with pytest.raises(ConfigurationError):
+            FlexCoreDetector(small_system, 4, qr_method="x")

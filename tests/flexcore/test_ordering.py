@@ -1,0 +1,127 @@
+"""Tests for the triangle-LUT symbol ordering (§3.2, Fig. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.flexcore.ordering import TriangleOrdering
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture(scope="module")
+def lut16():
+    return TriangleOrdering(QamConstellation(16))
+
+
+class TestConstruction:
+    def test_offsets_are_odd_pairs(self, lut16):
+        assert (np.abs(lut16.offsets) % 2 == 1).all()
+
+    def test_first_offsets_are_square_corners(self, lut16):
+        """The four nearest candidates are always the square's corners."""
+        first_four = {tuple(offset) for offset in lut16.offsets[:4]}
+        assert first_four == {(1, 1), (1, -1), (-1, 1), (-1, -1)}
+
+    def test_montecarlo_mode_close_to_centroid(self):
+        constellation = QamConstellation(16)
+        centroid = TriangleOrdering(constellation, method="centroid")
+        monte = TriangleOrdering(
+            constellation, method="montecarlo", samples=4000, rng=0
+        )
+        # The first few entries agree between the two offline methods.
+        assert np.array_equal(centroid.offsets[:3], monte.offsets[:3])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TriangleOrdering(QamConstellation(16), method="sorted")
+
+
+class TestRankOne:
+    @given(
+        st.floats(-1.4, 1.4, allow_nan=False),
+        st.floats(-1.4, 1.4, allow_nan=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_rank_one_is_exact_nearest(self, re, im):
+        """k=1 through the LUT must equal the true nearest symbol."""
+        constellation = QamConstellation(16)
+        lut = TriangleOrdering(constellation)
+        z = np.array([complex(re, im)])
+        lut_index = lut.kth_symbol_indices(z, np.array([1]))[0]
+        exact_index = constellation.exact_order(z[0])[0]
+        lut_distance = abs(constellation.points[lut_index] - z[0])
+        exact_distance = abs(constellation.points[exact_index] - z[0])
+        assert lut_distance == pytest.approx(exact_distance, abs=1e-12)
+
+    def test_rank_one_never_deactivates(self, lut16, rng):
+        z = 10 * (rng.standard_normal(500) + 1j * rng.standard_normal(500))
+        indices = lut16.kth_symbol_indices(z, np.ones(500, dtype=int))
+        assert (indices >= 0).all()
+
+
+class TestFullOrder:
+    def test_order_covers_all_symbols(self, lut16, rng):
+        """The LUT order hits every constellation point exactly once."""
+        for _ in range(20):
+            z = complex(rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2))
+            order = lut16.order_for_point(z)
+            assert sorted(order.tolist()) == list(range(16))
+
+    def test_early_ranks_approximate_exact_order(self, rng):
+        constellation = QamConstellation(16)
+        lut = TriangleOrdering(constellation)
+        agree = 0
+        trials = 300
+        for _ in range(trials):
+            z = complex(rng.uniform(-1.3, 1.3), rng.uniform(-1.3, 1.3))
+            approx = lut.order_for_point(z)[:2]
+            exact = constellation.exact_order(z)[:2]
+            agree += int(np.array_equal(approx, exact))
+        assert agree / trials > 0.9
+
+    def test_symmetry_across_triangles(self, lut16):
+        """Mirrored points get mirrored orders (D4 symmetry)."""
+        constellation = lut16.constellation
+        z = 0.31 + 0.12j  # inside t1 of the centre square
+        base = lut16.order_for_point(z * constellation.scale / constellation.scale)
+        mirrored = lut16.order_for_point(complex(-z.real, z.imag))
+        base_points = constellation.points[base]
+        mirrored_points = constellation.points[mirrored]
+        assert np.allclose(
+            mirrored_points.real, -base_points.real, atol=1e-12
+        )
+        assert np.allclose(mirrored_points.imag, base_points.imag, atol=1e-12)
+
+
+class TestDeactivation:
+    def test_large_rank_deactivates_at_corner(self):
+        constellation = QamConstellation(16)
+        lut = TriangleOrdering(constellation)
+        # Received far in a corner: high ranks point outside.
+        corner = constellation.points[constellation.grid_to_index(
+            np.array([3]), np.array([3]))[0]]
+        z = np.full(16, corner * 1.5)
+        ranks = np.arange(1, 17)
+        indices = lut.kth_symbol_indices(z, ranks)
+        assert (indices[:1] >= 0).all()
+        assert (indices == -1).any()
+
+    def test_out_of_range_rank_deactivates(self, lut16):
+        z = np.array([0.1 + 0.1j])
+        out = lut16.kth_symbol_indices(z, np.array([lut16.max_rank + 5]))
+        assert out[0] == -1
+
+
+class TestQpsk:
+    def test_qpsk_order_is_exact(self, rng):
+        """For QPSK the LUT is exact: 4 offsets, centre always (0,0)."""
+        constellation = QamConstellation(4)
+        lut = TriangleOrdering(constellation)
+        for _ in range(50):
+            z = complex(rng.uniform(-2, 2), rng.uniform(-2, 2))
+            approx = lut.order_for_point(z)
+            exact = constellation.exact_order(z)
+            distances_a = np.abs(constellation.points[approx] - z)
+            distances_e = np.abs(constellation.points[exact] - z)
+            assert np.allclose(distances_a, distances_e, atol=1e-9)

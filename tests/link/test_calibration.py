@@ -1,0 +1,83 @@
+"""Tests for SNR calibration by bisection."""
+
+import pytest
+
+from repro.detectors.linear import MmseDetector
+from repro.errors import LinkSimulationError
+from repro.link.calibration import find_snr_for_per
+from repro.link.channels import rayleigh_sampler
+from repro.link.config import LinkConfig
+from repro.link.simulation import simulate_link
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture(scope="module")
+def config():
+    system = MimoSystem(2, 4, QamConstellation(16))
+    return LinkConfig(
+        system=system, ofdm_symbols_per_packet=2, num_subcarriers=8
+    )
+
+
+class TestCalibration:
+    def test_finds_operating_point(self, config):
+        detector = MmseDetector(config.system)
+        result = find_snr_for_per(
+            config,
+            detector,
+            target_per=0.1,
+            channel_sampler_factory=lambda: rayleigh_sampler(config),
+            num_packets=30,
+            snr_low_db=-5.0,
+            snr_high_db=35.0,
+            seed=3,
+        )
+        assert -5.0 < result.snr_db < 35.0
+        # Verify: PER near the target at the calibrated SNR.
+        check = simulate_link(
+            config,
+            detector,
+            result.snr_db,
+            60,
+            rayleigh_sampler(config),
+            rng=99,
+        )
+        assert 0.01 <= check.per <= 0.35
+
+    def test_returns_bound_when_target_unreachable(self, config):
+        detector = MmseDetector(config.system)
+        result = find_snr_for_per(
+            config,
+            detector,
+            target_per=0.5,
+            channel_sampler_factory=lambda: rayleigh_sampler(config),
+            num_packets=10,
+            snr_low_db=30.0,
+            snr_high_db=40.0,
+            seed=1,
+        )
+        # PER at 30 dB is already below 0.5: return the low edge.
+        assert result.snr_db == 30.0
+
+    def test_invalid_target(self, config):
+        with pytest.raises(LinkSimulationError):
+            find_snr_for_per(
+                config,
+                MmseDetector(config.system),
+                target_per=0.0,
+                channel_sampler_factory=lambda: rayleigh_sampler(config),
+            )
+
+    def test_history_recorded(self, config):
+        detector = MmseDetector(config.system)
+        result = find_snr_for_per(
+            config,
+            detector,
+            target_per=0.1,
+            channel_sampler_factory=lambda: rayleigh_sampler(config),
+            num_packets=10,
+            seed=2,
+        )
+        assert len(result.history) >= 2
+        assert result.iterations >= 2

@@ -1,0 +1,65 @@
+"""Tests for link-simulator channel adapters."""
+
+import numpy as np
+import pytest
+
+from repro.channel.testbed import IndoorTestbed
+from repro.channel.traces import ChannelTrace
+from repro.errors import DimensionError
+from repro.link.channels import rayleigh_sampler, testbed_sampler, trace_sampler
+from repro.link.config import LinkConfig
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture(scope="module")
+def config():
+    system = MimoSystem(3, 4, QamConstellation(16))
+    return LinkConfig(
+        system=system, ofdm_symbols_per_packet=2, num_subcarriers=6
+    )
+
+
+class TestRayleighSampler:
+    def test_shape(self, config, rng):
+        sampler = rayleigh_sampler(config)
+        channels = sampler(0, rng)
+        assert channels.shape == (6, 4, 3)
+
+    def test_fresh_per_packet(self, config, rng):
+        sampler = rayleigh_sampler(config)
+        first = sampler(0, rng)
+        second = sampler(1, rng)
+        assert not np.allclose(first, second)
+
+
+class TestTraceSampler:
+    def _trace(self, rng, frames=3, subcarriers=6, num_rx=4, num_tx=3):
+        data = rng.standard_normal(
+            (frames, subcarriers, num_rx, num_tx)
+        ) + 0j
+        return ChannelTrace(response=data)
+
+    def test_serves_frames_in_order(self, config, rng):
+        trace = self._trace(rng)
+        sampler = trace_sampler(config, trace)
+        assert np.allclose(sampler(1, rng), trace.response[1][:6])
+
+    def test_too_few_subcarriers_rejected(self, config, rng):
+        trace = self._trace(rng, subcarriers=4)
+        with pytest.raises(DimensionError):
+            trace_sampler(config, trace)
+
+    def test_antenna_mismatch_rejected(self, config, rng):
+        trace = self._trace(rng, num_rx=2)
+        with pytest.raises(DimensionError):
+            trace_sampler(config, trace)
+
+
+class TestTestbedSampler:
+    def test_end_to_end_shape(self, config, rng):
+        testbed = IndoorTestbed(num_rx=4, rng=9)
+        sampler = testbed_sampler(config, testbed, num_frames=2)
+        channels = sampler(0, rng)
+        assert channels.shape == (6, 4, 3)
+        assert np.iscomplexobj(channels)

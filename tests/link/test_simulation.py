@@ -1,0 +1,115 @@
+"""Tests for the end-to-end link simulator."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.linear import MmseDetector, ZfDetector
+from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
+from repro.flexcore.detector import FlexCoreDetector
+from repro.errors import LinkSimulationError
+from repro.link.channels import rayleigh_sampler, testbed_sampler, trace_sampler
+from repro.link.config import LinkConfig
+from repro.link.simulation import simulate_link
+from repro.channel.testbed import IndoorTestbed
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture(scope="module")
+def config():
+    system = MimoSystem(4, 4, QamConstellation(16))
+    return LinkConfig(
+        system=system, ofdm_symbols_per_packet=2, num_subcarriers=8
+    )
+
+
+class TestSimulation:
+    def test_high_snr_error_free(self, config):
+        detector = FlexCoreDetector(config.system, num_paths=16)
+        result = simulate_link(
+            config, detector, 45.0, 4, rayleigh_sampler(config), rng=0
+        )
+        assert result.per == 0.0
+        assert result.ber == 0.0
+        assert result.vector_error_rate == 0.0
+
+    def test_low_snr_breaks_link(self, config):
+        detector = ZfDetector(config.system)
+        result = simulate_link(
+            config, detector, -10.0, 4, rayleigh_sampler(config), rng=0
+        )
+        assert result.per > 0.8
+
+    def test_accounting(self, config):
+        detector = MmseDetector(config.system)
+        result = simulate_link(
+            config, detector, 15.0, 3, rayleigh_sampler(config), rng=1
+        )
+        assert result.packets_simulated == 3
+        assert result.user_packets == 12
+        assert result.vectors_simulated == 3 * 8 * 2
+        assert result.bits_simulated == 12 * config.info_bits_per_packet
+        assert 0.0 <= result.per <= 1.0
+
+    def test_deterministic_given_seed(self, config):
+        detector = MmseDetector(config.system)
+        a = simulate_link(
+            config, detector, 12.0, 3, rayleigh_sampler(config), rng=7
+        )
+        b = simulate_link(
+            config, detector, 12.0, 3, rayleigh_sampler(config), rng=7
+        )
+        assert a.per == b.per
+        assert a.bit_errors == b.bit_errors
+
+    def test_adaptive_metadata_propagates(self, config):
+        detector = AdaptiveFlexCoreDetector(config.system, num_paths=16)
+        result = simulate_link(
+            config, detector, 30.0, 2, rayleigh_sampler(config), rng=2
+        )
+        assert "average_active_paths" in result.metadata
+        assert result.metadata["average_active_paths"] >= 1.0
+
+    def test_throughput_computation(self, config):
+        detector = MmseDetector(config.system)
+        result = simulate_link(
+            config, detector, 40.0, 2, rayleigh_sampler(config), rng=3
+        )
+        expected = 4 * config.user_phy_rate_bps * (1.0 - result.per)
+        assert result.network_throughput_bps(config) == pytest.approx(expected)
+
+    def test_bad_channel_sampler_shape(self, config):
+        detector = MmseDetector(config.system)
+
+        def bad_sampler(packet, rng):
+            return np.zeros((3, 4, 4), dtype=complex)
+
+        with pytest.raises(LinkSimulationError):
+            simulate_link(config, detector, 10.0, 1, bad_sampler, rng=0)
+
+
+class TestChannelAdapters:
+    def test_testbed_sampler_shape(self, config):
+        testbed = IndoorTestbed(num_rx=4, rng=5)
+        sampler = testbed_sampler(config, testbed, num_frames=2)
+        channels = sampler(0, np.random.default_rng(0))
+        assert channels.shape == (8, 4, 4)
+
+    def test_trace_sampler_cycles_frames(self, config):
+        testbed = IndoorTestbed(num_rx=4, rng=6)
+        trace = testbed.generate_uplink_trace(4, num_frames=2, num_subcarriers=8)
+        sampler = trace_sampler(config, trace)
+        rng = np.random.default_rng(0)
+        first = sampler(0, rng)
+        again = sampler(2, rng)  # frame index wraps modulo 2
+        assert np.allclose(first, again)
+
+    def test_coded_link_beats_uncoded_slicing(self, config):
+        """The code must correct residual detection errors at mid SNR."""
+        detector = FlexCoreDetector(config.system, num_paths=16)
+        result = simulate_link(
+            config, detector, 16.0, 6, rayleigh_sampler(config), rng=11
+        )
+        if result.vector_error_rate > 0:
+            # Coded BER must be far below the raw vector error rate.
+            assert result.ber < result.vector_error_rate

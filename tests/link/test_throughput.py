@@ -1,0 +1,42 @@
+"""Tests for throughput accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link.throughput import network_throughput_bps, user_phy_rate_bps
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+class TestUserRate:
+    def test_paper_rates(self):
+        system16 = MimoSystem(8, 8, QamConstellation(16))
+        system64 = MimoSystem(8, 8, QamConstellation(64))
+        assert user_phy_rate_bps(system16, 0.5) == pytest.approx(24e6)
+        assert user_phy_rate_bps(system64, 0.5) == pytest.approx(36e6)
+
+    def test_rate_three_quarters(self):
+        system = MimoSystem(4, 4, QamConstellation(64))
+        assert user_phy_rate_bps(system, 0.75) == pytest.approx(54e6)
+
+    def test_invalid_code_rate(self):
+        system = MimoSystem(2, 2)
+        with pytest.raises(ConfigurationError):
+            user_phy_rate_bps(system, 0.0)
+
+
+class TestNetworkThroughput:
+    def test_fig9_scale(self):
+        """12 users x 36 Mb/s tops out at 432 Mb/s — Fig. 9's scale."""
+        assert network_throughput_bps(0.0, 12, 36e6) == pytest.approx(432e6)
+
+    def test_per_discounts_linearly(self):
+        full = network_throughput_bps(0.0, 8, 24e6)
+        half = network_throughput_bps(0.5, 8, 24e6)
+        assert half == pytest.approx(full / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            network_throughput_bps(1.5, 4, 24e6)
+        with pytest.raises(ConfigurationError):
+            network_throughput_bps(0.1, 0, 24e6)

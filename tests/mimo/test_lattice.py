@@ -1,0 +1,89 @@
+"""Tests for complex LLL reduction and LR-aided detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import rayleigh_channel
+from repro.detectors.lattice import LrAidedZfDetector
+from repro.detectors.linear import ZfDetector
+from repro.errors import ConfigurationError, DimensionError
+from repro.mimo.lattice import clll_reduce, orthogonality_defect
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from tests.conftest import random_link
+
+
+class TestClll:
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_reduction_invariants(self, seed):
+        basis = rayleigh_channel(5, 4, rng=seed)
+        reduced, transform = clll_reduce(basis)
+        # Same lattice: reduced = basis @ T with unimodular T.
+        assert np.allclose(reduced, basis @ transform, atol=1e-9)
+        assert abs(np.linalg.det(transform)) == pytest.approx(1.0, abs=1e-6)
+        # T has Gaussian-integer entries.
+        assert np.allclose(transform.real, np.round(transform.real), atol=1e-9)
+        assert np.allclose(transform.imag, np.round(transform.imag), atol=1e-9)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_defect_never_increases(self, seed):
+        basis = rayleigh_channel(6, 6, rng=seed)
+        reduced, _ = clll_reduce(basis)
+        assert orthogonality_defect(reduced) <= orthogonality_defect(
+            basis
+        ) * (1 + 1e-9)
+
+    def test_orthogonal_basis_untouched(self):
+        basis = np.eye(4, dtype=complex)
+        reduced, transform = clll_reduce(basis)
+        assert orthogonality_defect(reduced) == pytest.approx(1.0)
+
+    def test_defect_of_singular_matrix(self):
+        assert orthogonality_defect(np.ones((3, 3))) == float("inf")
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            clll_reduce(np.eye(3), delta=0.1)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(DimensionError):
+            clll_reduce(np.ones((2, 4)))
+
+
+class TestLrAidedDetection:
+    def test_noiseless_recovery(self, rng):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        channel, indices, received, _ = random_link(system, 200.0, 30, rng)
+        result = LrAidedZfDetector(system).detect(channel, received, 1e-16)
+        assert np.array_equal(result.indices, indices)
+
+    def test_beats_plain_zf(self):
+        """The collected-diversity claim behind LR-aided detection."""
+        system = MimoSystem(4, 4, QamConstellation(16))
+        zf_errors = lr_errors = 0
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            channel, indices, received, noise_var = random_link(
+                system, 13.0, 40, rng
+            )
+            zf_errors += np.count_nonzero(
+                ZfDetector(system).detect(channel, received, noise_var).indices
+                != indices
+            )
+            lr_errors += np.count_nonzero(
+                LrAidedZfDetector(system)
+                .detect(channel, received, noise_var)
+                .indices
+                != indices
+            )
+        assert lr_errors < zf_errors
+
+    def test_indices_always_valid(self, rng):
+        system = MimoSystem(3, 3, QamConstellation(16))
+        channel, _, received, noise_var = random_link(system, 0.0, 50, rng)
+        result = LrAidedZfDetector(system).detect(channel, received, noise_var)
+        assert (result.indices >= 0).all()
+        assert (result.indices < 16).all()

@@ -1,0 +1,50 @@
+"""Tests for the uplink signal model and SNR conventions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.mimo.model import (
+    apply_channel,
+    noise_variance_for_snr_db,
+    snr_db_for_noise_variance,
+)
+
+
+class TestSnrConversions:
+    def test_roundtrip(self):
+        for snr in (-3.0, 0.0, 13.5, 21.6):
+            noise_var = noise_variance_for_snr_db(snr)
+            assert snr_db_for_noise_variance(noise_var) == pytest.approx(snr)
+
+    def test_zero_db_is_unity(self):
+        assert noise_variance_for_snr_db(0.0) == pytest.approx(1.0)
+
+    def test_10db_is_tenth(self):
+        assert noise_variance_for_snr_db(10.0) == pytest.approx(0.1)
+
+
+class TestApplyChannel:
+    def test_noiseless_is_matrix_product(self, rng):
+        channel = rng.standard_normal((4, 3)) + 1j * rng.standard_normal((4, 3))
+        symbols = rng.standard_normal((5, 3)) + 1j * rng.standard_normal((5, 3))
+        received = apply_channel(channel, symbols, noise_var=1e-30, rng=rng)
+        assert np.allclose(received, symbols @ channel.T, atol=1e-10)
+
+    def test_noise_variance_realised(self, rng):
+        channel = np.zeros((2, 2))
+        symbols = np.zeros((20000, 2))
+        received = apply_channel(channel, symbols, noise_var=0.5, rng=rng)
+        measured = np.mean(np.abs(received) ** 2)
+        assert measured == pytest.approx(0.5, rel=0.05)
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(DimensionError):
+            apply_channel(np.zeros((4, 3)), np.zeros((5, 4)), 0.1, rng)
+        with pytest.raises(DimensionError):
+            apply_channel(np.zeros(4), np.zeros((5, 4)), 0.1, rng)
+
+    def test_output_shape(self, rng):
+        channel = rng.standard_normal((6, 2))
+        symbols = rng.standard_normal((7, 2))
+        assert apply_channel(channel, symbols, 0.1, rng).shape == (7, 6)

@@ -1,0 +1,129 @@
+"""Tests for QR decompositions and orderings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fading import rayleigh_channel
+from repro.errors import DimensionError
+from repro.mimo.qr import (
+    fcsd_sorted_qr,
+    mmse_filter,
+    plain_qr,
+    sorted_qr,
+    zf_filter,
+)
+from repro.utils.flops import FlopCounter
+
+
+def _check_valid_qr(channel, qr):
+    """Common invariants: HP = QR, R upper-triangular, diag real >= 0."""
+    reconstructed = qr.q @ qr.r
+    assert np.allclose(reconstructed, channel[:, qr.permutation], atol=1e-9)
+    assert np.allclose(qr.r, np.triu(qr.r), atol=1e-9)
+    diag = np.diagonal(qr.r)
+    assert np.allclose(diag.imag, 0.0, atol=1e-9)
+    assert (diag.real >= -1e-12).all()
+    gram = qr.q.conj().T @ qr.q
+    assert np.allclose(gram, np.eye(qr.q.shape[1]), atol=1e-9)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_plain_qr_invariants(seed):
+    channel = rayleigh_channel(6, 4, rng=seed)
+    _check_valid_qr(channel, plain_qr(channel))
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_sorted_qr_invariants(seed):
+    channel = rayleigh_channel(6, 4, rng=seed)
+    _check_valid_qr(channel, sorted_qr(channel))
+
+
+@given(st.integers(0, 1000), st.integers(0, 4))
+@settings(max_examples=25, deadline=None)
+def test_fcsd_qr_invariants(seed, expanded):
+    channel = rayleigh_channel(6, 4, rng=seed)
+    _check_valid_qr(channel, fcsd_sorted_qr(channel, expanded))
+
+
+class TestOrderingProperties:
+    def test_sorted_qr_weakest_first(self):
+        """Wübben ordering leaves larger diagonals for later columns."""
+        ratios = []
+        for seed in range(50):
+            channel = rayleigh_channel(8, 8, rng=seed)
+            plain = plain_qr(channel)
+            ordered = sorted_qr(channel)
+            ratios.append(
+                np.real(ordered.r[-1, -1]) / np.real(plain.r[-1, -1])
+            )
+        # The last (first-detected) diagonal should typically grow.
+        assert np.mean(ratios) > 1.0
+
+    def test_fcsd_ordering_puts_weak_stream_on_top(self):
+        """The first fully-expanded level takes the weakest stream."""
+        weak_on_top = 0
+        for seed in range(40):
+            channel = rayleigh_channel(6, 6, rng=seed)
+            gram_inverse = np.linalg.inv(channel.conj().T @ channel)
+            weakest = int(np.argmax(np.real(np.diagonal(gram_inverse))))
+            qr = fcsd_sorted_qr(channel, num_expanded=1)
+            if qr.permutation[-1] == weakest:
+                weak_on_top += 1
+        assert weak_on_top >= 35  # the very first pick is exact
+
+    def test_restore_order_inverts_permutation(self, rng):
+        channel = rayleigh_channel(5, 5, rng)
+        qr = sorted_qr(channel)
+        values = np.arange(5)[None, :]
+        restored = qr.restore_order(values[:, np.argsort(qr.permutation)])
+        # restore_order maps position-indexed data back to stream order.
+        detected = np.empty((1, 5))
+        detected[0] = np.arange(5)
+        out = qr.restore_order(detected)
+        assert sorted(out[0].tolist()) == list(range(5))
+        assert np.array_equal(out[0, qr.permutation], detected[0])
+
+
+class TestRotate:
+    def test_rotate_received_matches_qh_y(self, rng):
+        channel = rayleigh_channel(6, 4, rng)
+        qr = plain_qr(channel)
+        y = rng.standard_normal((3, 6)) + 1j * rng.standard_normal((3, 6))
+        rotated = qr.rotate_received(y)
+        expected = (qr.q.conj().T @ y.T).T
+        assert np.allclose(rotated, expected)
+
+
+class TestFilters:
+    def test_zf_inverts_channel(self, rng):
+        channel = rayleigh_channel(6, 4, rng)
+        filter_matrix = zf_filter(channel)
+        assert np.allclose(filter_matrix @ channel, np.eye(4), atol=1e-9)
+
+    def test_mmse_approaches_zf_at_high_snr(self, rng):
+        channel = rayleigh_channel(6, 4, rng)
+        mmse = mmse_filter(channel, noise_var=1e-9)
+        zf = zf_filter(channel)
+        assert np.allclose(mmse, zf, atol=1e-5)
+
+    def test_mmse_shrinks_at_low_snr(self, rng):
+        channel = rayleigh_channel(4, 4, rng)
+        mmse = mmse_filter(channel, noise_var=100.0)
+        zf = zf_filter(channel)
+        assert np.linalg.norm(mmse) < np.linalg.norm(zf)
+
+
+class TestAccounting:
+    def test_qr_charges_table2_convention(self, rng):
+        channel = rayleigh_channel(8, 8, rng)
+        counter = FlopCounter()
+        plain_qr(channel, counter=counter)
+        assert counter.real_mults == 4 * 8**3  # = 2048, Table 2's ~2048
+
+    def test_wide_matrix_rejected(self, rng):
+        with pytest.raises(DimensionError):
+            plain_qr(rayleigh_channel(3, 5, rng))

@@ -1,0 +1,37 @@
+"""Tests for the MimoSystem descriptor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+class TestMimoSystem:
+    def test_basic_properties(self):
+        system = MimoSystem(12, 12, QamConstellation(64))
+        assert system.bits_per_vector == 72
+        assert system.num_leaves == 64**12
+        assert system.label() == "12x12 64-QAM"
+
+    def test_default_constellation(self):
+        system = MimoSystem(2, 4)
+        assert system.constellation.order == 16
+
+    def test_more_streams_than_antennas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MimoSystem(8, 4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MimoSystem(0, 4)
+
+    def test_tall_systems_allowed(self):
+        system = MimoSystem(6, 12)
+        assert system.num_streams == 6
+        assert system.num_rx_antennas == 12
+
+    def test_frozen(self):
+        system = MimoSystem(2, 2)
+        with pytest.raises(Exception):
+            system.num_streams = 4

@@ -1,0 +1,36 @@
+"""Tests for LTE mode parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ofdm.lte import LTE_MODES, SLOT_DURATION_S, lte_mode
+
+
+class TestModes:
+    def test_six_modes(self):
+        assert len(LTE_MODES) == 6
+
+    def test_bandwidth_ordering(self):
+        widths = [mode.bandwidth_mhz for mode in LTE_MODES]
+        assert widths == sorted(widths)
+        assert widths[0] == 1.25
+        assert widths[-1] == 20.0
+
+    def test_vectors_per_slot(self):
+        mode = lte_mode(20.0)
+        assert mode.occupied_subcarriers == 1200
+        assert mode.vectors_per_slot == 1200 * 7
+
+    def test_required_rate(self):
+        mode = lte_mode(1.25)
+        assert mode.required_vector_rate == pytest.approx(
+            76 * 7 / SLOT_DURATION_S
+        )
+
+    def test_labels(self):
+        assert lte_mode(1.25).label() == "1.25 MHz"
+        assert lte_mode(5.0).label() == "5 MHz"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ConfigurationError):
+            lte_mode(3.0)

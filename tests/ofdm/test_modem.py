@@ -1,0 +1,64 @@
+"""Tests for the OFDM modem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.modulation.constellation import QamConstellation
+from repro.ofdm.modem import OfdmModem
+from repro.ofdm.params import WIFI_20MHZ
+
+
+@pytest.fixture(scope="module")
+def modem():
+    return OfdmModem(WIFI_20MHZ)
+
+
+def _random_grid(rng, num_symbols=3):
+    constellation = QamConstellation(16)
+    indices = rng.integers(0, 16, (num_symbols, 48))
+    return constellation.points[indices]
+
+
+class TestRoundtrip:
+    def test_mod_demod_identity(self, modem, rng):
+        grid = _random_grid(rng)
+        recovered = modem.demodulate(modem.modulate(grid))
+        assert np.allclose(recovered, grid, atol=1e-10)
+
+    def test_output_shape(self, modem, rng):
+        samples = modem.modulate(_random_grid(rng, 2))
+        assert samples.shape == (2, 64 + 16)
+
+    def test_power_preserved(self, modem, rng):
+        grid = _random_grid(rng, 8)
+        samples = modem.modulate(grid)
+        body_power = np.mean(np.abs(samples[:, 16:]) ** 2) * 64
+        grid_power = np.mean(np.abs(grid) ** 2) * 48
+        assert body_power == pytest.approx(grid_power, rel=1e-9)
+
+
+class TestMultipath:
+    def test_multipath_is_per_subcarrier_multiplication(self, modem, rng):
+        grid = _random_grid(rng, 2)
+        taps = np.array([1.0, 0.4 - 0.2j, 0.1j])
+        samples = modem.modulate(grid)
+        received = modem.apply_multipath(samples, taps)
+        recovered = modem.demodulate(received)
+        response = modem.channel_frequency_response(taps)
+        assert np.allclose(recovered, grid * response[None, :], atol=1e-8)
+
+    def test_channel_longer_than_prefix_rejected(self, modem, rng):
+        samples = modem.modulate(_random_grid(rng, 1))
+        with pytest.raises(DimensionError):
+            modem.apply_multipath(samples, np.ones(20))
+
+
+class TestValidation:
+    def test_bad_grid_shape(self, modem):
+        with pytest.raises(DimensionError):
+            modem.modulate(np.zeros((2, 47), dtype=complex))
+
+    def test_bad_sample_shape(self, modem):
+        with pytest.raises(DimensionError):
+            modem.demodulate(np.zeros((2, 64), dtype=complex))

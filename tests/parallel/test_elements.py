@@ -1,0 +1,48 @@
+"""Tests for processing-element scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.elements import PePool, schedule_paths
+
+
+class TestSchedule:
+    def test_one_task_per_pe_is_single_pass(self):
+        pool = PePool(count=64, path_latency_s=1e-6)
+        plan = schedule_paths(pool, 64)
+        assert plan["passes"] == 1
+        assert plan["latency_s"] == pytest.approx(1e-6)
+        assert plan["utilisation"] == 1.0
+
+    def test_fewer_pes_multiply_latency(self):
+        pool = PePool(count=16, path_latency_s=1e-6)
+        plan = schedule_paths(pool, 64)
+        assert plan["passes"] == 4
+        assert plan["latency_s"] == pytest.approx(4e-6)
+
+    def test_partial_last_pass_utilisation(self):
+        pool = PePool(count=10, path_latency_s=1e-6)
+        plan = schedule_paths(pool, 25)
+        assert plan["passes"] == 3
+        assert plan["utilisation"] == pytest.approx(25 / 30)
+
+    def test_pipelined_throughput(self):
+        pool = PePool(count=4, pipelined=True, cycle_s=5.5e-9)
+        plan = schedule_paths(pool, 32)
+        # One vector retires every 32/4 cycles.
+        assert plan["throughput_vectors_per_s"] == pytest.approx(
+            4 / (32 * 5.5e-9)
+        )
+
+    def test_pipeline_fill_in_latency(self):
+        pool = PePool(
+            count=1, pipelined=True, cycle_s=1e-9, pipeline_fill_cycles=100
+        )
+        plan = schedule_paths(pool, 10)
+        assert plan["latency_s"] == pytest.approx(110e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PePool(count=0)
+        with pytest.raises(ConfigurationError):
+            schedule_paths(PePool(count=4), 0)

@@ -1,0 +1,127 @@
+"""Tests for the FPGA cost/throughput/energy model and Table 3/Fig. 13
+checkpoints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.parallel.fpga import (
+    FCSD_COST_MODEL,
+    FLEXCORE_COST_MODEL,
+    FPGA_DEVICE_XCVU440,
+    FpgaEngineModel,
+)
+
+
+@pytest.fixture(scope="module")
+def system12():
+    return MimoSystem(12, 12, QamConstellation(64))
+
+
+@pytest.fixture(scope="module")
+def system8():
+    return MimoSystem(8, 8, QamConstellation(64))
+
+
+class TestCostModelCalibration:
+    @pytest.mark.parametrize(
+        "model,nt,logic,memory,ff,clb",
+        [
+            (FLEXCORE_COST_MODEL, 8, 3206, 15276, 1187, 5363),
+            (FLEXCORE_COST_MODEL, 12, 5795, 28810, 2497, 11415),
+            (FCSD_COST_MODEL, 8, 2187, 11320, 713, 4717),
+            (FCSD_COST_MODEL, 12, 4364, 23252, 1537, 10501),
+        ],
+    )
+    def test_reproduces_table3_resources(self, model, nt, logic, memory, ff, clb):
+        assert model.logic_luts(nt) == pytest.approx(logic, rel=1e-6)
+        assert model.memory_luts(nt) == pytest.approx(memory, rel=1e-6)
+        assert model.ff_pairs(nt) == pytest.approx(ff, rel=1e-6)
+        assert model.clb_slices(nt) == pytest.approx(clb, rel=1e-6)
+
+    def test_dsp_counts(self):
+        assert FLEXCORE_COST_MODEL.dsp48(8) == 16
+        assert FLEXCORE_COST_MODEL.dsp48(12) == 24
+
+    def test_power_matches_table3(self):
+        assert FLEXCORE_COST_MODEL.power_w(8) == pytest.approx(6.82, abs=0.01)
+        assert FCSD_COST_MODEL.power_w(12) == pytest.approx(9.04, abs=0.01)
+
+    def test_area_delay_overheads_match_paper(self):
+        """Paper: FlexCore PE costs 73.7% / 57.8% more ADP at 8x8 / 12x12."""
+        ratio8 = FLEXCORE_COST_MODEL.area_delay_product(
+            8
+        ) / FCSD_COST_MODEL.area_delay_product(8)
+        ratio12 = FLEXCORE_COST_MODEL.area_delay_product(
+            12
+        ) / FCSD_COST_MODEL.area_delay_product(12)
+        assert ratio8 == pytest.approx(1.737, abs=0.03)
+        assert ratio12 == pytest.approx(1.578, abs=0.03)
+
+    def test_extrapolation_is_monotone(self):
+        assert FLEXCORE_COST_MODEL.logic_luts(16) > FLEXCORE_COST_MODEL.logic_luts(12)
+
+
+class TestEngineThroughput:
+    def test_paper_13gbps_checkpoint(self, system12):
+        """Paper §5.3: 32 PEs / 32 paths -> 13.09 Gb/s at 5.5 ns."""
+        engine = FpgaEngineModel(FLEXCORE_COST_MODEL, system12)
+        throughput = engine.processing_throughput_bps(32, 32)
+        assert throughput / 1e9 == pytest.approx(13.09, abs=0.1)
+
+    def test_paper_3_27gbps_checkpoint(self, system12):
+        """Paper §5.3: 32 PEs / 128 paths -> 3.27 Gb/s."""
+        engine = FpgaEngineModel(FLEXCORE_COST_MODEL, system12)
+        throughput = engine.processing_throughput_bps(32, 128)
+        assert throughput / 1e9 == pytest.approx(3.27, abs=0.05)
+
+    def test_clock_capped_by_fmax(self, system12):
+        engine = FpgaEngineModel(
+            FLEXCORE_COST_MODEL, system12, cycle_s=1e-9
+        )
+        assert engine.clock_hz() == pytest.approx(312.5e6)
+
+    def test_pes_for_rate(self, system12):
+        engine = FpgaEngineModel(FLEXCORE_COST_MODEL, system12)
+        # 20 MHz LTE at 64-QAM 12 streams: the paper says >= 3 PEs for 32
+        # paths.
+        rate = 1200 * 7 / 500e-6 * 72  # vectors/s x bits/vector
+        assert engine.pes_for_rate(32, rate) == 3
+
+
+class TestEnergy:
+    def test_energy_decreases_with_pes(self, system12):
+        engine = FpgaEngineModel(FLEXCORE_COST_MODEL, system12)
+        values = [engine.energy_per_bit(m, 32) for m in (1, 4, 16, 64)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_fcsd_needs_more_energy_at_equal_throughput(self, system12):
+        """Fig. 13: FCSD L=2 (4096 paths) vs FlexCore (128): ~29x J/bit."""
+        flex = FpgaEngineModel(FLEXCORE_COST_MODEL, system12)
+        fcsd = FpgaEngineModel(FCSD_COST_MODEL, system12)
+        ratio = fcsd.energy_per_bit(32, 4096) / flex.energy_per_bit(32, 128)
+        assert 20.0 < ratio < 40.0
+
+    def test_l1_ratio_moderate(self, system8):
+        """Fig. 13 Nt=8 L=1: FCSD/FlexCore J-per-bit averages ~1.5x."""
+        flex = FpgaEngineModel(FLEXCORE_COST_MODEL, system8)
+        fcsd = FpgaEngineModel(FCSD_COST_MODEL, system8)
+        ratio = fcsd.energy_per_bit(16, 64) / flex.energy_per_bit(16, 32)
+        assert 1.2 < ratio < 2.5
+
+
+class TestDevice:
+    def test_max_instantiable_bounded_by_dsp(self, system12):
+        engine = FpgaEngineModel(FLEXCORE_COST_MODEL, system12)
+        cap = engine.max_instantiable_pes()
+        assert 1 <= cap
+        assert cap * FLEXCORE_COST_MODEL.dsp48(12) <= FPGA_DEVICE_XCVU440.dsp_slices
+
+    def test_invalid_params(self, system12):
+        with pytest.raises(ConfigurationError):
+            FpgaEngineModel(FLEXCORE_COST_MODEL, system12, cycle_s=0)
+        with pytest.raises(ConfigurationError):
+            FpgaEngineModel(
+                FLEXCORE_COST_MODEL, system12, static_power_fraction=1.0
+            )

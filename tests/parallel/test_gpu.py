@@ -1,0 +1,162 @@
+"""Tests for the GPU/CPU execution models and their paper checkpoints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.ofdm.lte import LTE_MODES, SLOT_DURATION_S, lte_mode
+from repro.parallel.gpu import (
+    CpuOpenMpModel,
+    GpuExecutionModel,
+    detection_path_flops,
+)
+
+
+@pytest.fixture(scope="module")
+def system12():
+    return MimoSystem(12, 12, QamConstellation(64))
+
+
+@pytest.fixture(scope="module")
+def system8():
+    return MimoSystem(8, 8, QamConstellation(64))
+
+
+@pytest.fixture(scope="module")
+def gpu():
+    return GpuExecutionModel()
+
+
+class TestStructure:
+    def test_path_flops_grow_quadratically(self):
+        small = detection_path_flops(MimoSystem(4, 4))
+        large = detection_path_flops(MimoSystem(8, 8))
+        assert large > 2 * small
+
+    def test_occupancy_bounds(self, gpu):
+        assert 0 < gpu.occupancy(100) < gpu.occupancy(1e6) < 1
+
+    def test_time_monotone_in_paths(self, gpu, system12):
+        times = [
+            gpu.detection_time(system12, paths, 1024)
+            for paths in (8, 64, 512)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_streams_overlap_transfers(self, gpu, system12):
+        serial = gpu.detection_time(system12, 64, 1024, streams=1)
+        overlapped = gpu.detection_time(system12, 64, 1024, streams=8)
+        assert overlapped <= serial
+
+    def test_unknown_scheme_rejected(self, gpu, system12):
+        with pytest.raises(ConfigurationError):
+            gpu.detection_time(system12, 8, 64, scheme="tpu")
+
+
+class TestPaperCheckpoints:
+    def test_flexcore_128_vs_fcsd_l2_speedup(self, gpu, system12):
+        """Paper: 19x at |E|=128 vs FCSD L=2 (we accept 15-30x)."""
+        baseline = gpu.fcsd_detection_time(system12, 2, 1024)
+        flexcore = gpu.detection_time(system12, 128, 1024, "flexcore")
+        speedup = baseline / flexcore
+        assert 15.0 < speedup < 30.0
+
+    def test_gpu_beats_openmp8_by_20x(self, gpu, system12):
+        """Paper: GPU-FCSD at least ~21x faster than 8-thread CPU."""
+        cpu = CpuOpenMpModel()
+        gpu_time = gpu.fcsd_detection_time(system12, 1, 1024)
+        cpu_time = cpu.detection_time(system12, 64, 1024, num_threads=8)
+        assert cpu_time / gpu_time > 15.0
+
+    def test_openmp_efficiency_matches_measurement(self):
+        """Paper: 8 threads give 5.14x speedup (64.25% efficiency)."""
+        cpu = CpuOpenMpModel()
+        speedup = 8 * cpu.parallel_efficiency(8)
+        assert speedup == pytest.approx(5.14, abs=0.15)
+
+    def test_speedup_grows_with_nsc(self, gpu, system12):
+        """Fig. 11: occupancy saturation favours large batches."""
+        speedups = []
+        for nsc in (64, 1024, 16384):
+            baseline = gpu.fcsd_detection_time(system12, 2, nsc)
+            flexcore = gpu.detection_time(system12, 128, nsc, "flexcore")
+            speedups.append(baseline / flexcore)
+        assert speedups[0] < speedups[1] <= speedups[2] * 1.05
+
+
+class TestLteSupport:
+    def test_narrow_mode_supports_many_paths(self, gpu, system8):
+        mode = lte_mode(1.25)
+        supported = gpu.max_supported_paths(
+            system8,
+            mode.vectors_per_slot,
+            SLOT_DURATION_S,
+            num_channels=mode.occupied_subcarriers,
+        )
+        assert 48 <= supported <= 256  # paper: 105
+
+    def test_wide_mode_supports_few_paths(self, gpu, system8):
+        mode = lte_mode(20.0)
+        supported = gpu.max_supported_paths(
+            system8,
+            mode.vectors_per_slot,
+            SLOT_DURATION_S,
+            num_channels=mode.occupied_subcarriers,
+        )
+        assert 1 <= supported <= 16  # paper: 4
+
+    def test_support_decreases_with_bandwidth(self, gpu, system12):
+        counts = [
+            gpu.max_supported_paths(
+                system12,
+                mode.vectors_per_slot,
+                SLOT_DURATION_S,
+                num_channels=mode.occupied_subcarriers,
+            )
+            for mode in LTE_MODES
+        ]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert counts[-1] >= 1  # paper: 12x12 still supports 2 paths
+
+    def test_fcsd_only_fits_narrowest_mode(self, gpu, system12):
+        """Fig. 12's x marks: FCSD L=1 fails beyond 1.25 MHz."""
+        flags = [
+            gpu.fcsd_supported(
+                system12,
+                1,
+                mode.vectors_per_slot,
+                SLOT_DURATION_S,
+                num_channels=mode.occupied_subcarriers,
+            )
+            for mode in LTE_MODES
+        ]
+        assert flags[0] is True
+        assert not any(flags[1:])
+
+
+class TestEnergy:
+    def test_energy_per_bit_positive_and_moderate(self, gpu, system12):
+        mode = lte_mode(5.0)
+        value = gpu.energy_per_bit(
+            system12,
+            num_paths=16,
+            num_subcarriers=mode.vectors_per_slot,
+            scheme="flexcore",
+            bit_rate=100e6,
+            available_time_s=SLOT_DURATION_S,
+        )
+        assert 1e-9 < value < 1e-5
+
+    def test_flexcore_more_efficient_than_fcsd(self, gpu, system12):
+        """At equal network quality (128 paths vs L=2) FlexCore wins."""
+        mode = lte_mode(1.25)
+        flexcore = gpu.energy_per_bit(
+            system12, 128, mode.vectors_per_slot, "flexcore", 50e6,
+            SLOT_DURATION_S,
+        )
+        fcsd = gpu.energy_per_bit(
+            system12, 4096, mode.vectors_per_slot, "fcsd", 50e6,
+            SLOT_DURATION_S,
+        )
+        assert fcsd > flexcore

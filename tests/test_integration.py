@@ -1,0 +1,110 @@
+"""Cross-module integration tests: the paper's claims in miniature."""
+
+import numpy as np
+import pytest
+
+from repro.channel.testbed import IndoorTestbed
+from repro.detectors.fcsd import FcsdDetector
+from repro.detectors.linear import MmseDetector
+from repro.detectors.sphere import SphereDecoder
+from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
+from repro.flexcore.detector import FlexCoreDetector
+from repro.link.channels import testbed_sampler
+from repro.link.config import LinkConfig
+from repro.link.simulation import simulate_link
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+
+
+@pytest.fixture(scope="module")
+def uplink():
+    """A 6-user 8-antenna coded uplink over testbed traces."""
+    system = MimoSystem(6, 8, QamConstellation(16))
+    config = LinkConfig(
+        system=system, ofdm_symbols_per_packet=2, num_subcarriers=12
+    )
+    testbed = IndoorTestbed(num_rx=8, rng=77)
+    sampler = testbed_sampler(config, testbed, num_frames=4)
+    return config, sampler
+
+
+class TestEndToEndOrdering:
+    def test_flexcore_beats_mmse_on_testbed(self, uplink):
+        """The core value proposition at a stressed operating point."""
+        config, sampler = uplink
+        snr_db = 14.0
+        flexcore = simulate_link(
+            config,
+            FlexCoreDetector(config.system, num_paths=32),
+            snr_db,
+            8,
+            sampler,
+            rng=1,
+        )
+        mmse = simulate_link(
+            config, MmseDetector(config.system), snr_db, 8, sampler, rng=1
+        )
+        assert flexcore.per <= mmse.per
+        assert flexcore.network_throughput_bps(
+            config
+        ) >= mmse.network_throughput_bps(config)
+
+    def test_flexcore_tracks_exact_ml(self, uplink):
+        """FlexCore with a healthy PE budget sits near the sphere decoder."""
+        config, sampler = uplink
+        snr_db = 12.0
+        sphere = simulate_link(
+            config, SphereDecoder(config.system), snr_db, 4, sampler, rng=2
+        )
+        flexcore = simulate_link(
+            config,
+            FlexCoreDetector(config.system, num_paths=64),
+            snr_db,
+            4,
+            sampler,
+            rng=2,
+        )
+        assert flexcore.per <= sphere.per + 0.15
+
+    def test_flexcore_any_pe_count_vs_fcsd_restriction(self, uplink):
+        """FlexCore runs at 24 PEs; FCSD's nearest option is 16."""
+        config, sampler = uplink
+        snr_db = 13.0
+        flexcore = simulate_link(
+            config,
+            FlexCoreDetector(config.system, num_paths=24),
+            snr_db,
+            6,
+            sampler,
+            rng=3,
+        )
+        fcsd = simulate_link(
+            config,
+            FcsdDetector(config.system, num_expanded=1),
+            snr_db,
+            6,
+            sampler,
+            rng=3,
+        )
+        # Both decode; FlexCore with more PEs than FCSD's 16 must not be
+        # meaningfully worse.
+        assert flexcore.per <= fcsd.per + 0.1
+
+    def test_adaptive_flexcore_saves_pes_when_lightly_loaded(self):
+        """Fig. 10's a-FlexCore behaviour on an underloaded AP."""
+        system = MimoSystem(3, 8, QamConstellation(16))
+        config = LinkConfig(
+            system=system, ofdm_symbols_per_packet=2, num_subcarriers=8
+        )
+        testbed = IndoorTestbed(num_rx=8, rng=13)
+        sampler = testbed_sampler(config, testbed, num_frames=2)
+        result = simulate_link(
+            config,
+            AdaptiveFlexCoreDetector(system, num_paths=64),
+            20.0,
+            4,
+            sampler,
+            rng=4,
+        )
+        assert result.metadata["average_active_paths"] < 16
+        assert result.per <= 0.25

@@ -1,0 +1,88 @@
+"""Tests for bit helpers and Gray coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DimensionError
+from repro.utils.bits import (
+    bits_to_ints,
+    gray_decode,
+    gray_encode,
+    hamming_distance,
+    int_to_bits,
+    ints_to_bits,
+)
+
+
+class TestIntBits:
+    def test_int_to_bits_msb_first(self):
+        assert int_to_bits(6, 3).tolist() == [1, 1, 0]
+
+    def test_int_to_bits_zero(self):
+        assert int_to_bits(0, 4).tolist() == [0, 0, 0, 0]
+
+    def test_int_to_bits_overflow_raises(self):
+        with pytest.raises(DimensionError):
+            int_to_bits(8, 3)
+
+    def test_int_to_bits_negative_raises(self):
+        with pytest.raises(DimensionError):
+            int_to_bits(-1, 3)
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=50))
+    def test_ints_bits_roundtrip(self, values):
+        array = np.array(values)
+        bits = ints_to_bits(array, 8)
+        assert bits.size == 8 * array.size
+        recovered = bits_to_ints(bits, 8)
+        assert np.array_equal(recovered, array)
+
+    def test_ints_to_bits_matches_scalar(self):
+        values = np.array([3, 7, 0, 15])
+        bits = ints_to_bits(values, 4)
+        expected = np.concatenate([int_to_bits(v, 4) for v in values])
+        assert np.array_equal(bits, expected)
+
+    def test_bits_to_ints_bad_length(self):
+        with pytest.raises(DimensionError):
+            bits_to_ints(np.array([1, 0, 1]), 2)
+
+    def test_ints_to_bits_requires_1d(self):
+        with pytest.raises(DimensionError):
+            ints_to_bits(np.zeros((2, 2), dtype=int), 4)
+
+
+class TestGray:
+    @given(st.integers(0, 2**16 - 1))
+    def test_gray_roundtrip(self, value):
+        assert gray_decode(gray_encode(value)) == value
+
+    @given(st.integers(0, 2**12 - 2))
+    def test_adjacent_gray_codes_differ_in_one_bit(self, value):
+        a = gray_encode(value)
+        b = gray_encode(value + 1)
+        assert bin(a ^ b).count("1") == 1
+
+    def test_gray_vectorised(self):
+        values = np.arange(64)
+        encoded = gray_encode(values)
+        decoded = gray_decode(encoded)
+        assert np.array_equal(decoded, values)
+
+    def test_gray_known_values(self):
+        assert gray_encode(0) == 0
+        assert gray_encode(1) == 1
+        assert gray_encode(2) == 3
+        assert gray_encode(3) == 2
+
+
+class TestHamming:
+    def test_hamming_distance(self):
+        a = np.array([1, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 0, 1, 0], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_hamming_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            hamming_distance(np.zeros(3), np.zeros(4))

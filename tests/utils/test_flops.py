@@ -1,0 +1,49 @@
+"""Tests for FLOP accounting."""
+
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+
+class TestFlopCounter:
+    def test_complex_mult_convention(self):
+        counter = FlopCounter()
+        counter.add_complex_mults(3)
+        assert counter.real_mults == 12
+        assert counter.real_adds == 6
+
+    def test_magnitude_squared_convention(self):
+        counter = FlopCounter()
+        counter.add_magnitude_squared(2)
+        assert counter.real_mults == 4
+        assert counter.real_adds == 2
+
+    def test_total_flops(self):
+        counter = FlopCounter()
+        counter.add_real_mults(5)
+        counter.add_real_adds(7)
+        assert counter.total_flops == 12
+
+    def test_reset(self):
+        counter = FlopCounter()
+        counter.add_real_mults(5)
+        counter.add_nodes(3)
+        counter.reset()
+        assert counter.total_flops == 0
+        assert counter.nodes_visited == 0
+
+    def test_merged(self):
+        a = FlopCounter()
+        a.add_real_mults(2)
+        b = FlopCounter()
+        b.add_real_adds(3)
+        b.add_comparisons(1)
+        merged = a.merged(b)
+        assert merged.real_mults == 2
+        assert merged.real_adds == 3
+        assert merged.comparisons == 1
+
+    def test_null_counter_ignores_everything(self):
+        NULL_COUNTER.add_real_mults(100)
+        NULL_COUNTER.add_complex_mults(100)
+        NULL_COUNTER.add_nodes(100)
+        assert NULL_COUNTER.total_flops == 0
+        assert NULL_COUNTER.nodes_visited == 0

@@ -1,0 +1,33 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import as_rng, spawn
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        a = as_rng(42).integers(0, 1000, 10)
+        b = as_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        parent = as_rng(7)
+        children = spawn(parent, 3)
+        assert len(children) == 3
+        draws = [child.integers(0, 10**9) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic_from_parent_seed(self):
+        first = [c.integers(0, 10**9) for c in spawn(as_rng(5), 2)]
+        second = [c.integers(0, 10**9) for c in spawn(as_rng(5), 2)]
+        assert first == second
