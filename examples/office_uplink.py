@@ -14,6 +14,7 @@ from repro import FcsdDetector, FlexCoreDetector, MimoSystem, MmseDetector, QamC
 from repro.channel import IndoorTestbed
 from repro.link import LinkConfig, simulate_link
 from repro.link.channels import testbed_sampler
+from repro.runtime import BatchedUplinkEngine
 
 
 def main() -> None:
@@ -30,7 +31,10 @@ def main() -> None:
         f"{system.label()}: {packets} packets over the office testbed at "
         f"{snr_db:.1f} dB\n"
     )
-    print(f"{'scheme':24s} {'PEs':>5s} {'PER':>7s} {'throughput':>12s}")
+    print(
+        f"{'scheme':24s} {'PEs':>5s} {'PER':>7s} {'throughput':>12s} "
+        f"{'prepares':>9s} {'cache hits':>11s}"
+    )
 
     schemes = [
         ("MMSE", 0, MmseDetector(system)),
@@ -40,18 +44,29 @@ def main() -> None:
         ("FlexCore", 196, FlexCoreDetector(system, num_paths=196)),
     ]
     for name, pes, detector in schemes:
-        result = simulate_link(
-            config, detector, snr_db, packets, sampler, rng=1
-        )
+        # The batched runtime detects all 16 subcarriers per packet in
+        # one call and caches per-channel contexts; the 8-frame trace
+        # cycles, so packets 9..16 hit the cache instead of re-running QR
+        # and FlexCore pre-processing.
+        with BatchedUplinkEngine(detector) as engine:
+            result = simulate_link(
+                config, detector, snr_db, packets, sampler, rng=1,
+                engine=engine,
+            )
         throughput = result.network_throughput_bps(config) / 1e6
+        runtime = result.metadata["runtime"]
         print(
             f"{name:24s} {pes:>5d} {result.per:>7.3f} "
-            f"{throughput:>9.1f} Mb/s"
+            f"{throughput:>9.1f} Mb/s "
+            f"{runtime['contexts_prepared']:>9d} "
+            f"{runtime['context_cache_hits']:>11d}"
         )
 
     print(
         "\nFlexCore runs at ANY PE count (here 16/64/196) while FCSD is "
         "locked to powers of |Q| — the flexibility Fig. 9 demonstrates."
+        "\nThe coherence cache prepares each distinct channel once and "
+        "serves every recurrence for free — the §4 amortisation."
     )
 
 

@@ -42,11 +42,13 @@ from repro.flexcore import (
 )
 from repro.mimo import MimoSystem
 from repro.modulation import QamConstellation
+from repro.runtime import BatchedUplinkEngine, UplinkBatch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveFlexCoreDetector",
+    "BatchedUplinkEngine",
     "DetectionResult",
     "Detector",
     "FcsdDetector",
@@ -61,6 +63,7 @@ __all__ = [
     "SphereDecoder",
     "TriangleOrdering",
     "TrellisDetector",
+    "UplinkBatch",
     "ZfDetector",
     "available_detectors",
     "find_promising_paths",

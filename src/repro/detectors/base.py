@@ -71,7 +71,21 @@ class Detector(abc.ABC):
         received: np.ndarray,
         counter: FlopCounter = NULL_COUNTER,
     ) -> DetectionResult:
-        """Detect a ``(n, Nr)`` batch using a prepared context."""
+        """Detect a ``(n, Nr)`` batch using a prepared context.
+
+        Batching contract (relied on by
+        :class:`repro.runtime.engine.BatchedUplinkEngine`):
+
+        * the context is read-only here — a context prepared once may be
+          replayed for any number of ``detect_prepared`` calls, in any
+          order, across frames and retransmissions of the same channel;
+        * contexts are pure functions of ``(channel, noise_var)``, so two
+          bit-identical channels at the same noise level may share one
+          context (content-addressed caching);
+        * output row ``i`` depends only on received row ``i`` — splitting
+          a batch and concatenating the results is exact, which makes
+          subcarrier/frame sharding safe.
+        """
 
     # ------------------------------------------------------------------
     def detect(
@@ -84,6 +98,39 @@ class Detector(abc.ABC):
         """Convenience single-shot path: prepare then detect."""
         context = self.prepare(channel, noise_var, counter=counter)
         return self.detect_prepared(context, received, counter=counter)
+
+    def detect_many(
+        self,
+        channels: np.ndarray,
+        received: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> list[DetectionResult]:
+        """Naive multi-channel loop: one ``prepare`` per channel.
+
+        ``channels`` is ``(C, Nr, Nt)`` and ``received`` is ``(C, n,
+        Nr)``.  This is the unamortised reference the runtime engine is
+        benchmarked against; production paths should prefer
+        :class:`repro.runtime.engine.BatchedUplinkEngine`, which caches
+        contexts across coherent channels and shards the loop.
+        """
+        channels = np.asarray(channels)
+        received = np.asarray(received)
+        if channels.ndim != 3 or received.ndim != 3:
+            raise DimensionError(
+                f"{self.name}: detect_many wants (C, Nr, Nt) channels and "
+                f"(C, n, Nr) received, got {channels.shape} / "
+                f"{received.shape}"
+            )
+        if channels.shape[0] != received.shape[0]:
+            raise DimensionError(
+                f"{self.name}: {channels.shape[0]} channels vs "
+                f"{received.shape[0]} received blocks"
+            )
+        return [
+            self.detect(channels[c], received[c], noise_var, counter=counter)
+            for c in range(channels.shape[0])
+        ]
 
     # ------------------------------------------------------------------
     def _check_channel(self, channel: np.ndarray) -> np.ndarray:

@@ -25,7 +25,17 @@ QAM_ORDER = 64
 STREAMS = 8  # CUDA streams, as §5.2 employs
 
 
-def run(profile=None, per_targets=(0.1, 0.01), sizes=(8, 12)) -> ExperimentResult:
+def run(
+    profile=None,
+    per_targets=(0.1, 0.01),
+    sizes=(8, 12),
+    backend: str = "serial",
+) -> ExperimentResult:
+    """Regenerate Fig. 12.
+
+    The SNR-loss calibrations behind every row run on the batched uplink
+    runtime; ``backend`` picks its execution backend.
+    """
     profile = get_profile(profile)
     gpu = GpuExecutionModel()
     result = ExperimentResult(
@@ -46,7 +56,9 @@ def run(profile=None, per_targets=(0.1, 0.01), sizes=(8, 12)) -> ExperimentResul
         system = MimoSystem(size, size, QamConstellation(QAM_ORDER))
         fcsd_l1_paths = system.constellation.order
         for target in per_targets:
-            table = build_snr_loss_table(system, target, profile)
+            table = build_snr_loss_table(
+                system, target, profile, backend=backend
+            )
             for mode in LTE_MODES:
                 vectors = mode.vectors_per_slot
                 flexcore_paths = gpu.max_supported_paths(

@@ -14,6 +14,7 @@ from repro.link.channels import rayleigh_sampler, testbed_sampler
 from repro.link.config import LinkConfig
 from repro.link.simulation import LinkResult, simulate_link
 from repro.mimo.system import MimoSystem
+from repro.runtime.engine import BatchedUplinkEngine
 
 
 def make_link_config(
@@ -63,24 +64,41 @@ def ml_reference_detector(
     return FlexCoreDetector(system, num_paths=proxy_paths)
 
 
+def make_engine(
+    detector: Detector, backend: str = "serial"
+) -> BatchedUplinkEngine:
+    """Runtime engine for one experiment detector.
+
+    The cache is sized to hold every (subcarrier, SNR-probe) context an
+    experiment sweep touches for one detector, so testbed traces that
+    cycle their frames across packets hit the cache on every revisit.
+    """
+    return BatchedUplinkEngine(
+        detector, backend=backend, max_cache_entries=4096
+    )
+
+
 def calibrate_ml_snr(
     system: MimoSystem,
     target_per: float,
     profile: ExperimentProfile,
     channel_kind: str = "testbed",
+    backend: str = "serial",
 ) -> float:
     """SNR (dB) at which the ML reference hits ``target_per``."""
     config = make_link_config(system, profile)
     detector = ml_reference_detector(system, profile)
     factory = make_sampler_factory(config, profile, channel_kind)
-    result = find_snr_for_per(
-        config,
-        detector,
-        target_per,
-        factory,
-        num_packets=profile.calibration_packets,
-        seed=profile.seed,
-    )
+    with make_engine(detector, backend) as engine:
+        result = find_snr_for_per(
+            config,
+            detector,
+            target_per,
+            factory,
+            num_packets=profile.calibration_packets,
+            seed=profile.seed,
+            engine=engine,
+        )
     return result.snr_db
 
 
@@ -91,8 +109,11 @@ def run_point(
     profile: ExperimentProfile,
     sampler_factory,
     seed_offset: int = 0,
+    engine: BatchedUplinkEngine | None = None,
 ) -> LinkResult:
     """One PER/throughput measurement with common random numbers."""
+    if engine is None:
+        engine = make_engine(detector)
     return simulate_link(
         config,
         detector,
@@ -100,6 +121,7 @@ def run_point(
         profile.packets_per_point,
         sampler_factory(),
         rng=profile.seed + seed_offset,
+        engine=engine,
     )
 
 

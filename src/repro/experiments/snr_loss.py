@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentProfile, get_profile
 from repro.experiments.linkruns import (
+    make_engine,
     make_link_config,
     make_sampler_factory,
     ml_reference_detector,
@@ -46,11 +47,14 @@ def build_snr_loss_table(
     profile: ExperimentProfile | str | None = None,
     channel_kind: str = "testbed",
     path_grid: tuple[int, ...] | None = None,
+    backend: str = "serial",
 ) -> SnrLossTable:
     """Bisection-calibrated SNR loss at a grid of FlexCore path counts.
 
     One path is SIC (greedy single tree path), so the table covers the
-    SIC line of Fig. 12 as well.
+    SIC line of Fig. 12 as well.  All probe links run on the batched
+    uplink runtime; one engine per detector carries its context cache
+    through the whole bisection.
     """
     profile = get_profile(profile)
     if path_grid is None:
@@ -63,27 +67,31 @@ def build_snr_loss_table(
     factory = make_sampler_factory(config, profile, channel_kind)
 
     ml = ml_reference_detector(system, profile)
-    ml_result = find_snr_for_per(
-        config,
-        ml,
-        target_per,
-        factory,
-        num_packets=profile.calibration_packets,
-        seed=profile.seed,
-    )
-    losses = []
-    for paths in path_grid:
-        detector = FlexCoreDetector(system, num_paths=paths)
-        calibrated = find_snr_for_per(
+    with make_engine(ml, backend) as engine:
+        ml_result = find_snr_for_per(
             config,
-            detector,
+            ml,
             target_per,
             factory,
             num_packets=profile.calibration_packets,
-            snr_low_db=ml_result.snr_db - 1.0,
-            snr_high_db=ml_result.snr_db + 25.0,
             seed=profile.seed,
+            engine=engine,
         )
+    losses = []
+    for paths in path_grid:
+        detector = FlexCoreDetector(system, num_paths=paths)
+        with make_engine(detector, backend) as engine:
+            calibrated = find_snr_for_per(
+                config,
+                detector,
+                target_per,
+                factory,
+                num_packets=profile.calibration_packets,
+                snr_low_db=ml_result.snr_db - 1.0,
+                snr_high_db=ml_result.snr_db + 25.0,
+                seed=profile.seed,
+                engine=engine,
+            )
         losses.append(max(calibrated.snr_db - ml_result.snr_db, 0.0))
     return SnrLossTable(
         path_counts=np.asarray(path_grid, dtype=float),

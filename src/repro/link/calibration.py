@@ -38,12 +38,19 @@ def find_snr_for_per(
     snr_high_db: float = 40.0,
     tolerance_db: float = 0.25,
     seed: int = 1234,
+    engine=None,
 ) -> CalibrationResult:
     """Bisection search for the SNR achieving ``target_per``.
 
     ``channel_sampler_factory`` is a zero-argument callable returning a
     fresh channel sampler; a new sampler (same construction, same seed
     discipline as the caller chooses) is drawn per probe.
+
+    ``engine`` optionally supplies a pre-built
+    :class:`~repro.runtime.engine.BatchedUplinkEngine` wrapping
+    ``detector``; one engine then serves every probe of the bisection, so
+    its context cache persists across the search (contexts are keyed on
+    noise variance, so distinct SNR probes coexist in the cache).
     """
     if not 0.0 < target_per < 1.0:
         raise LinkSimulationError("target PER must lie in (0, 1)")
@@ -57,6 +64,7 @@ def find_snr_for_per(
             num_packets,
             sampler,
             rng=seed,
+            engine=engine,
         )
         return result.per
 

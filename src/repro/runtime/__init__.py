@@ -1,0 +1,41 @@
+"""Batched multi-subcarrier uplink detection runtime.
+
+The paper's throughput story has two systems ingredients on top of the
+FlexCore algorithm: amortise per-channel pre-processing over the
+coherence time (§4) and spread the embarrassingly-parallel per-subcarrier
+problems across execution resources (§5.2).  This package provides both
+as a detector-agnostic runtime:
+
+* :class:`UplinkBatch` / :class:`BatchDetectionResult` — the
+  ``(subcarriers x frames)`` workload and its stacked output;
+* :class:`ContextCache` — content-addressed coherence cache of prepared
+  channel contexts;
+* :class:`SerialBackend` / :class:`ProcessPoolBackend` — pluggable
+  execution backends sharding subcarriers;
+* :class:`BatchedUplinkEngine` — the façade the link simulator, the
+  experiment harness and the examples drive.
+"""
+
+from repro.runtime.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    make_backend,
+)
+from repro.runtime.batch import BatchDetectionResult, UplinkBatch
+from repro.runtime.cache import ContextCache, context_key
+from repro.runtime.engine import BatchedUplinkEngine
+
+__all__ = [
+    "BatchDetectionResult",
+    "BatchedUplinkEngine",
+    "ContextCache",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "UplinkBatch",
+    "available_backends",
+    "context_key",
+    "make_backend",
+]

@@ -1,0 +1,125 @@
+"""Workload containers for the batched uplink runtime.
+
+The runtime's unit of work is the *uplink batch*: every data subcarrier
+of one coherence interval, each carrying the same number of received
+vectors (OFDM symbols, a.k.a. frames).  FlexCore's "nearly embarrassingly
+parallel" claim (§3.2, §5.2) is exactly that these ``subcarriers x
+frames`` detection problems are independent — the batch is the shape the
+engine shards, caches and vectorises over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+@dataclass(frozen=True)
+class UplinkBatch:
+    """A ``(subcarriers x frames)`` uplink detection workload.
+
+    Attributes
+    ----------
+    channels:
+        ``(S, Nr, Nt)`` complex — one channel matrix per subcarrier,
+        static over the batch (the §5 coherence assumption).
+    received:
+        ``(S, F, Nr)`` complex — ``F`` received vectors per subcarrier.
+    noise_var:
+        Per-receive-antenna noise variance shared by the batch.
+    """
+
+    channels: np.ndarray
+    received: np.ndarray
+    noise_var: float
+
+    def __post_init__(self) -> None:
+        if self.noise_var is None:
+            raise DimensionError(
+                "UplinkBatch needs a noise_var (did you forget the third "
+                "argument to detect_batch?)"
+            )
+        channels = np.asarray(self.channels)
+        received = np.asarray(self.received)
+        if channels.ndim != 3:
+            raise DimensionError(
+                f"batch channels must be (S, Nr, Nt), got {channels.shape}"
+            )
+        if received.ndim == 2:
+            # One frame per subcarrier: promote to (S, 1, Nr).
+            received = received[:, None, :]
+        if received.ndim != 3:
+            raise DimensionError(
+                f"batch received must be (S, F, Nr), got {received.shape}"
+            )
+        if received.shape[0] != channels.shape[0]:
+            raise DimensionError(
+                f"{received.shape[0]} received blocks for "
+                f"{channels.shape[0]} subcarrier channels"
+            )
+        if received.shape[2] != channels.shape[1]:
+            raise DimensionError(
+                f"received vectors have {received.shape[2]} antennas, "
+                f"channels have {channels.shape[1]}"
+            )
+        object.__setattr__(self, "channels", channels)
+        object.__setattr__(self, "received", received)
+        object.__setattr__(self, "noise_var", float(self.noise_var))
+
+    @property
+    def num_subcarriers(self) -> int:
+        return self.channels.shape[0]
+
+    @property
+    def num_frames(self) -> int:
+        return self.received.shape[1]
+
+    @property
+    def num_rx_antennas(self) -> int:
+        return self.channels.shape[1]
+
+    @property
+    def num_streams(self) -> int:
+        return self.channels.shape[2]
+
+    def shard(self, num_shards: int) -> list["UplinkBatch"]:
+        """Split along the subcarrier axis into contiguous sub-batches."""
+        num_shards = max(1, min(int(num_shards), self.num_subcarriers))
+        bounds = np.array_split(np.arange(self.num_subcarriers), num_shards)
+        return [
+            UplinkBatch(
+                channels=self.channels[idx[0] : idx[-1] + 1],
+                received=self.received[idx[0] : idx[-1] + 1],
+                noise_var=self.noise_var,
+            )
+            for idx in bounds
+            if idx.size
+        ]
+
+
+@dataclass
+class BatchDetectionResult:
+    """Stacked detection output for one :class:`UplinkBatch`.
+
+    Attributes
+    ----------
+    indices:
+        ``(S, F, Nt)`` hard symbol-index decisions, original stream order.
+    llrs:
+        ``(S, F, Nt * bits_per_symbol)`` max-log LLRs when the batch was
+        detected softly; ``None`` otherwise.
+    per_subcarrier_metadata:
+        The scheme-specific metadata dict each subcarrier's
+        ``detect_prepared`` produced, in subcarrier order.
+    stats:
+        Engine-level accounting: contexts prepared vs served from cache,
+        backend name, shard count.
+    """
+
+    indices: np.ndarray
+    llrs: np.ndarray | None = None
+    per_subcarrier_metadata: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)

@@ -1,0 +1,252 @@
+"""Tests for the coherence context cache, backends, and runtime plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channel, rayleigh_channels
+from repro.errors import ConfigurationError
+from repro.flexcore.detector import FlexCoreDetector
+from repro.link.channels import testbed_sampler
+from repro.link.config import LinkConfig
+from repro.link.simulation import simulate_link
+from repro.channel.testbed import IndoorTestbed
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.runtime import (
+    BatchedUplinkEngine,
+    ContextCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    context_key,
+    make_backend,
+)
+
+
+@pytest.fixture
+def system():
+    return MimoSystem(3, 3, QamConstellation(16))
+
+
+@pytest.fixture
+def detector(system):
+    return FlexCoreDetector(system, num_paths=8)
+
+
+class TestContextKey:
+    def test_identical_inputs_collide(self, rng):
+        channel = rayleigh_channel(4, 3, rng)
+        assert context_key(channel, 0.1) == context_key(channel.copy(), 0.1)
+
+    def test_noise_var_distinguishes(self, rng):
+        channel = rayleigh_channel(4, 3, rng)
+        assert context_key(channel, 0.1) != context_key(channel, 0.2)
+
+    def test_channel_distinguishes(self, rng):
+        a = rayleigh_channel(4, 3, rng)
+        b = rayleigh_channel(4, 3, rng)
+        assert context_key(a, 0.1) != context_key(b, 0.1)
+
+
+class TestContextCache:
+    def test_hit_returns_same_context_object(self, detector, rng):
+        cache = ContextCache()
+        channel = rayleigh_channel(3, 3, rng)
+        first = cache.get_or_prepare(detector, channel, 0.05)
+        second = cache.get_or_prepare(detector, channel, 0.05)
+        assert first is second
+        assert cache.stats == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "entries": 1,
+        }
+
+    def test_lru_eviction(self, detector, rng):
+        cache = ContextCache(max_entries=2)
+        channels = rayleigh_channels(3, 3, 3, rng)
+        for channel in channels:
+            cache.get_or_prepare(detector, channel, 0.05)
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        # The oldest entry (channel 0) was evicted; re-preparing it is a
+        # miss, while channel 2 is still resident.
+        cache.get_or_prepare(detector, channels[2], 0.05)
+        assert cache.hits == 1
+        cache.get_or_prepare(detector, channels[0], 0.05)
+        assert cache.misses == 4
+
+    def test_clear(self, detector, rng):
+        cache = ContextCache()
+        cache.get_or_prepare(detector, rayleigh_channel(3, 3, rng), 0.05)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContextCache(max_entries=0)
+
+    def test_prepare_flops_skipped_on_hit(self, detector, rng):
+        from repro.utils.flops import FlopCounter
+
+        cache = ContextCache()
+        channel = rayleigh_channel(3, 3, rng)
+        first = FlopCounter()
+        cache.get_or_prepare(detector, channel, 0.05, counter=first)
+        again = FlopCounter()
+        cache.get_or_prepare(detector, channel, 0.05, counter=again)
+        assert first.real_mults > 0
+        assert again.real_mults == 0
+
+
+class TestBackends:
+    def test_available(self):
+        assert "serial" in available_backends()
+        assert "process-pool" in available_backends()
+
+    def test_make_backend_passthrough(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+
+    def test_make_backend_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("quantum")
+
+    def test_serial_preserves_order(self):
+        backend = SerialBackend()
+        assert backend.run(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    def test_pool_requires_positive_workers(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(max_workers=0)
+
+
+class TestEngineCaching:
+    def test_replayed_batch_is_all_hits(self, detector, rng):
+        channels = rayleigh_channels(4, 3, 3, rng)
+        received = rng.standard_normal((4, 2, 3)) + 0j
+        engine = BatchedUplinkEngine(detector)
+        first = engine.detect_batch(channels, received, 0.05)
+        second = engine.detect_batch(channels, received, 0.05)
+        assert first.stats["contexts_prepared"] == 4
+        assert second.stats["contexts_prepared"] == 0
+        assert second.stats["cache_hits"] == 4
+        assert np.array_equal(first.indices, second.indices)
+
+    def test_cache_disabled_always_prepares(self, detector, rng):
+        channels = rayleigh_channels(4, 3, 3, rng)
+        received = rng.standard_normal((4, 2, 3)) + 0j
+        engine = BatchedUplinkEngine(detector, cache_contexts=False)
+        engine.detect_batch(channels, received, 0.05)
+        replay = engine.detect_batch(channels, received, 0.05)
+        assert replay.stats["contexts_prepared"] == 4
+        assert engine.cache_stats["entries"] == 0
+
+    def test_cache_disabled_skips_within_batch_dedup(self, detector, rng):
+        # A flat-fading batch (identical channel on every subcarrier)
+        # must still prepare once per subcarrier when caching is off —
+        # the uncached baseline may not silently deduplicate.
+        channel = rayleigh_channels(1, 3, 3, rng)
+        channels = np.repeat(channel, 4, axis=0)
+        received = rng.standard_normal((4, 2, 3)) + 0j
+        uncached = BatchedUplinkEngine(detector, cache_contexts=False)
+        result = uncached.detect_batch(channels, received, 0.05)
+        assert result.stats["contexts_prepared"] == 4
+        cached = BatchedUplinkEngine(detector)
+        result = cached.detect_batch(channels, received, 0.05)
+        assert result.stats["contexts_prepared"] == 1
+        assert result.stats["cache_hits"] == 3
+
+    def test_pool_backend_amortises_across_calls(self, detector, rng):
+        # Contexts are prepared in the parent via the persistent cache,
+        # so a replayed batch is all hits even under the process pool.
+        channels = rayleigh_channels(4, 3, 3, rng)
+        received = rng.standard_normal((4, 2, 3)) + 0j
+        with BatchedUplinkEngine(
+            detector, backend=ProcessPoolBackend(max_workers=2)
+        ) as engine:
+            first = engine.detect_batch(channels, received, 0.05)
+            second = engine.detect_batch(channels, received, 0.05)
+        assert first.stats["contexts_prepared"] == 4
+        assert second.stats["contexts_prepared"] == 0
+        assert second.stats["cache_hits"] == 4
+        assert np.array_equal(first.indices, second.indices)
+
+    def test_clear_cache(self, detector, rng):
+        channels = rayleigh_channels(2, 3, 3, rng)
+        received = rng.standard_normal((2, 2, 3)) + 0j
+        engine = BatchedUplinkEngine(detector)
+        engine.detect_batch(channels, received, 0.05)
+        engine.clear_cache()
+        replay = engine.detect_batch(channels, received, 0.05)
+        assert replay.stats["contexts_prepared"] == 2
+
+
+class TestLinkIntegration:
+    """simulate_link rides the engine; coherent traces amortise prepare."""
+
+    def test_trace_coherence_amortised(self):
+        system = MimoSystem(3, 4, QamConstellation(16))
+        config = LinkConfig(
+            system=system, ofdm_symbols_per_packet=2, num_subcarriers=6
+        )
+        testbed = IndoorTestbed(num_rx=4, rng=5)
+        sampler = testbed_sampler(config, testbed, num_frames=4)
+        detector = FlexCoreDetector(system, num_paths=8)
+        # 8 packets over a 4-frame trace: packets 5..8 replay frames 1..4,
+        # so at most 4 x 6 distinct contexts are ever prepared.
+        result = simulate_link(
+            config, detector, 20.0, 8, sampler, rng=0
+        )
+        runtime = result.metadata["runtime"]
+        assert runtime["backend"] == "serial"
+        assert runtime["contexts_prepared"] == 4 * 6
+        assert runtime["context_cache_hits"] == 4 * 6
+
+    def test_explicit_engine_must_wrap_same_detector(self):
+        from repro.errors import LinkSimulationError
+        from repro.link.channels import rayleigh_sampler
+
+        system = MimoSystem(3, 3, QamConstellation(16))
+        config = LinkConfig(
+            system=system, ofdm_symbols_per_packet=2, num_subcarriers=6
+        )
+        other = FlexCoreDetector(system, num_paths=4)
+        detector = FlexCoreDetector(system, num_paths=8)
+        with pytest.raises(LinkSimulationError):
+            simulate_link(
+                config,
+                detector,
+                10.0,
+                1,
+                rayleigh_sampler(config),
+                rng=0,
+                engine=BatchedUplinkEngine(other),
+            )
+
+    def test_seeded_results_identical_across_backends(self):
+        from repro.link.channels import rayleigh_sampler
+
+        system = MimoSystem(3, 3, QamConstellation(16))
+        config = LinkConfig(
+            system=system, ofdm_symbols_per_packet=2, num_subcarriers=6
+        )
+        detector = FlexCoreDetector(system, num_paths=8)
+        serial = simulate_link(
+            config, detector, 14.0, 2, rayleigh_sampler(config), rng=4
+        )
+        with BatchedUplinkEngine(
+            detector, backend=ProcessPoolBackend(max_workers=2)
+        ) as engine:
+            pooled = simulate_link(
+                config,
+                detector,
+                14.0,
+                2,
+                rayleigh_sampler(config),
+                rng=4,
+                engine=engine,
+            )
+        assert serial.per == pooled.per
+        assert serial.bit_errors == pooled.bit_errors
+        assert serial.vector_errors == pooled.vector_errors
