@@ -7,8 +7,15 @@ channel comes from the geometric office simulator (the WARP substitute).
 Compares network throughput of FlexCore at several PE budgets against
 MMSE and FCSD — a one-panel, low-trial slice of Fig. 9.
 
-Run:  python examples/office_uplink.py
+Run:  python examples/office_uplink.py [serial|process-pool|array]
+
+The optional argument selects the runtime execution backend; ``array``
+runs the stacked tensor-walk kernel and honours ``REPRO_ARRAY_BACKEND``
+(numpy default, torch/cupy optional) for its array module.  Results are
+identical across backends.
 """
+
+import sys
 
 from repro import FcsdDetector, FlexCoreDetector, MimoSystem, MmseDetector, QamConstellation
 from repro.channel import IndoorTestbed
@@ -18,6 +25,7 @@ from repro.runtime import BatchedUplinkEngine
 
 
 def main() -> None:
+    backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
     system = MimoSystem(12, 12, QamConstellation(64))
     config = LinkConfig(
         system=system, ofdm_symbols_per_packet=2, num_subcarriers=16
@@ -29,7 +37,7 @@ def main() -> None:
 
     print(
         f"{system.label()}: {packets} packets over the office testbed at "
-        f"{snr_db:.1f} dB\n"
+        f"{snr_db:.1f} dB ({backend} backend)\n"
     )
     print(
         f"{'scheme':24s} {'PEs':>5s} {'PER':>7s} {'throughput':>12s} "
@@ -48,7 +56,7 @@ def main() -> None:
         # one call and caches per-channel contexts; the 8-frame trace
         # cycles, so packets 9..16 hit the cache instead of re-running QR
         # and FlexCore pre-processing.
-        with BatchedUplinkEngine(detector) as engine:
+        with BatchedUplinkEngine(detector, backend=backend) as engine:
             result = simulate_link(
                 config, detector, snr_db, packets, sampler, rng=1,
                 engine=engine,

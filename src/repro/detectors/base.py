@@ -88,6 +88,37 @@ class Detector(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    @property
+    def has_block_kernel(self) -> bool:
+        """Whether this detector provides a stacked multi-channel kernel.
+
+        Detectors exposing ``detect_block_prepared(contexts, received,
+        counter=..., xp=...)`` (e.g. FlexCore's tensor walk) are routed
+        through it by :meth:`detect_many` and by the runtime's ``array``
+        execution backend; everything else falls back to the documented
+        per-channel loop.
+        """
+        return callable(getattr(self, "detect_block_prepared", None))
+
+    def prepare_many(
+        self,
+        channels: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> list:
+        """One context per ``(C, Nr, Nt)`` channel.
+
+        The base implementation loops :meth:`prepare`; detectors with a
+        batched prepare path (e.g. FlexCore's stacked QR) override it.
+        Either way the returned contexts — and the FLOPs charged — must
+        be identical to preparing each channel individually.
+        """
+        channels = np.asarray(channels)
+        return [
+            self.prepare(channels[c], noise_var, counter=counter)
+            for c in range(channels.shape[0])
+        ]
+
     def detect(
         self,
         channel: np.ndarray,
@@ -106,13 +137,17 @@ class Detector(abc.ABC):
         noise_var: float,
         counter: FlopCounter = NULL_COUNTER,
     ) -> list[DetectionResult]:
-        """Naive multi-channel loop: one ``prepare`` per channel.
+        """Multi-channel detection: one ``prepare`` per channel.
 
         ``channels`` is ``(C, Nr, Nt)`` and ``received`` is ``(C, n,
-        Nr)``.  This is the unamortised reference the runtime engine is
-        benchmarked against; production paths should prefer
-        :class:`repro.runtime.engine.BatchedUplinkEngine`, which caches
-        contexts across coherent channels and shards the loop.
+        Nr)``.  Detectors providing a stacked kernel
+        (:attr:`has_block_kernel`) detect every channel in one tensor
+        walk with bit-identical output; third-party detectors without
+        one run the naive per-channel loop below — the unamortised
+        reference the runtime engine is benchmarked against.  Production
+        paths should prefer
+        :class:`repro.runtime.engine.BatchedUplinkEngine`, which also
+        caches contexts across coherent channels.
         """
         channels = np.asarray(channels)
         received = np.asarray(received)
@@ -127,6 +162,16 @@ class Detector(abc.ABC):
                 f"{self.name}: {channels.shape[0]} channels vs "
                 f"{received.shape[0]} received blocks"
             )
+        if self.has_block_kernel:
+            contexts = self.prepare_many(channels, noise_var, counter=counter)
+            indices, metadata = self.detect_block_prepared(
+                contexts, received, counter=counter
+            )
+            return [
+                DetectionResult(indices=indices[c], metadata=metadata[c])
+                for c in range(channels.shape[0])
+            ]
+        # Documented fallback: the per-channel prepare+detect loop.
         return [
             self.detect(channels[c], received[c], noise_var, counter=counter)
             for c in range(channels.shape[0])

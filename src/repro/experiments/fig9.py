@@ -64,8 +64,9 @@ def run(
     """Regenerate Fig. 9.
 
     ``backend`` selects the runtime execution backend every link run goes
-    through (``"serial"`` or ``"process-pool"``); results are identical
-    across backends, only wall-clock changes.
+    through (``"serial"``, ``"process-pool"``, or ``"array"`` — the
+    stacked tensor walk); results are identical across backends, only
+    wall-clock changes.
     """
     profile = get_profile(profile)
     result = ExperimentResult(

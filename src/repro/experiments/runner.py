@@ -11,6 +11,7 @@ Each experiment prints its table to stdout and optionally saves JSON.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from pathlib import Path
@@ -66,6 +67,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="directory for JSON results"
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="runtime execution backend for experiments that take one "
+        "(serial | process-pool | array); the array backend honours "
+        "REPRO_ARRAY_BACKEND for its array module",
+    )
     args = parser.parse_args(argv)
 
     if not args.all and not args.experiment:
@@ -79,8 +87,17 @@ def main(argv=None) -> int:
 
     for name in names:
         started = time.perf_counter()
+        entry = EXPERIMENTS[name]
+        kwargs = {}
+        if args.backend is not None:
+            if "backend" in inspect.signature(entry).parameters:
+                kwargs["backend"] = args.backend
+            else:
+                print(
+                    f"[{name}: no backend parameter, running default]",
+                )
         try:
-            result = EXPERIMENTS[name](profile)
+            result = entry(profile, **kwargs)
         except ExperimentError as error:
             print(f"{name}: FAILED — {error}", file=sys.stderr)
             return 1

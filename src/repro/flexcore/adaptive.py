@@ -45,13 +45,12 @@ class AdaptiveFlexCoreDetector(FlexCoreDetector):
             )
         self.probability_target = float(probability_target)
 
-    def prepare(
-        self,
-        channel: np.ndarray,
-        noise_var: float,
-        counter: FlopCounter = NULL_COUNTER,
+    def _context_from_qr(
+        self, qr, noise_var: float, counter: FlopCounter
     ) -> FlexCoreContext:
-        context = super().prepare(channel, noise_var, counter=counter)
+        # Hooking the shared context builder keeps the single-channel
+        # ``prepare`` and the stacked ``prepare_many`` paths in lockstep.
+        context = super()._context_from_qr(qr, noise_var, counter)
         cumulative = np.cumsum(context.preprocessing.probabilities)
         covered = np.searchsorted(cumulative, self.probability_target) + 1
         context.active_paths = int(
@@ -68,3 +67,17 @@ class AdaptiveFlexCoreDetector(FlexCoreDetector):
         result = super().detect_prepared(context, received, counter=counter)
         result.metadata["active_paths"] = context.active_paths
         return result
+
+    def detect_block_prepared(
+        self,
+        contexts,
+        received: np.ndarray,
+        counter: FlopCounter = NULL_COUNTER,
+        xp=None,
+    ):
+        indices, metadata = super().detect_block_prepared(
+            contexts, received, counter=counter, xp=xp
+        )
+        for entry, context in zip(metadata, contexts):
+            entry["active_paths"] = context.active_paths
+        return indices, metadata

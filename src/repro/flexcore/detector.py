@@ -5,8 +5,20 @@ element, which walks its tree path from the top level down: compute the
 effective received point (Eq. 5), pick the ``p(l)``-th closest symbol via
 the triangle LUT, accumulate the partial Euclidean distance (Eq. 1).  No
 processing element communicates with any other until the final minimum —
-the "nearly embarrassingly parallel" property.  This implementation
-vectorises that independence across (received vectors x paths).
+the "nearly embarrassingly parallel" property.
+
+Two vectorised realisations of that independence live here:
+
+* :meth:`FlexCoreDetector.detect_prepared` spreads one channel's walk
+  across (received vectors x paths) — the per-subcarrier kernel;
+* :meth:`FlexCoreDetector.detect_block_prepared` stacks a whole coherence
+  block of channels sharing a path count into one ``(S, F, P, Nt)``
+  tensor walk — the paper's §5.2 mapping of thousands of independent
+  (subcarrier x path) processing elements onto wide parallel hardware.
+  It runs on any array module (numpy default, cupy/torch optional — see
+  :mod:`repro.utils.xp`); under numpy every operation decomposes into
+  the same elementwise/BLAS computations as the per-subcarrier kernel,
+  keeping the outputs bit-identical.
 
 A processing element whose LUT lookup leaves the constellation is
 *deactivated* (its distance becomes infinite), per §3.2.  Rank-1 lookups
@@ -22,13 +34,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.detectors.base import DetectionResult, Detector
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DimensionError
 from repro.flexcore.ordering import TriangleOrdering
 from repro.flexcore.preprocessing import PreprocessingResult, find_promising_paths
+from repro.mimo.qr import (
+    QrDecomposition,
+    fcsd_sorted_qr,
+    plain_qr,
+    sorted_qr,
+    stacked_fcsd_sorted_qr,
+    stacked_plain_qr,
+    stacked_sorted_qr,
+)
 from repro.flexcore.probability import LevelErrorModel
-from repro.mimo.qr import QrDecomposition, fcsd_sorted_qr, plain_qr, sorted_qr
 from repro.mimo.system import MimoSystem
 from repro.utils.flops import NULL_COUNTER, FlopCounter
+from repro.utils.xp import resolve_array_module
 
 #: Bound on (batch-chunk x paths) live elements.
 MAX_CHUNK_ELEMENTS = 1 << 18
@@ -117,6 +138,50 @@ class FlexCoreDetector(Detector):
             qr = fcsd_sorted_qr(channel, 1, noise_var, counter=counter)
         else:
             qr = plain_qr(channel, counter=counter)
+        return self._context_from_qr(qr, noise_var, counter)
+
+    def prepare_many(
+        self,
+        channels: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> list[FlexCoreContext]:
+        """Prepare a ``(C, Nr, Nt)`` block with one stacked QR factorisation.
+
+        The QR of every channel runs in a single stacked call
+        (:func:`~repro.mimo.qr.stacked_sorted_qr` and friends) — the
+        batched cache-miss path of the runtime; the error-model /
+        position-vector search stays per channel (it is a data-dependent
+        tree search).  Contexts and charged FLOPs are identical to
+        calling :meth:`prepare` once per channel.
+        """
+        channels = np.asarray(channels)
+        if channels.ndim != 3:
+            raise DimensionError(
+                f"{self.name}: prepare_many wants (C, Nr, Nt) channels, "
+                f"got {channels.shape}"
+            )
+        for c in range(channels.shape[0]):
+            self._check_channel(channels[c])
+        if self.qr_method == "sorted":
+            qrs = stacked_sorted_qr(channels, counter=counter)
+        elif self.qr_method == "fcsd":
+            qrs = stacked_fcsd_sorted_qr(
+                channels, 1, noise_var, counter=counter
+            )
+        else:
+            qrs = stacked_plain_qr(channels, counter=counter)
+        return [self._context_from_qr(qr, noise_var, counter) for qr in qrs]
+
+    def _context_from_qr(
+        self,
+        qr: QrDecomposition,
+        noise_var: float,
+        counter: FlopCounter,
+    ) -> FlexCoreContext:
+        """Per-channel tail of ``prepare``: error model, path search,
+        context assembly.  Subclasses hook here (a-FlexCore trims
+        ``active_paths``) so the single and stacked prepare paths agree."""
         model = LevelErrorModel.from_channel(
             qr.r, noise_var, self.system.constellation, formula=self.pe_formula
         )
@@ -220,10 +285,240 @@ class FlexCoreDetector(Detector):
         return chosen, deactivated
 
     def _exact_kth(
-        self, effective: np.ndarray, ranks: np.ndarray
+        self, effective: np.ndarray, ranks: np.ndarray, xp=None
     ) -> np.ndarray:
-        """Exhaustive k-th-closest lookup (ablation reference)."""
-        points = self.system.constellation.points
-        distances = np.abs(effective[..., None] - points) ** 2
-        order = np.argsort(distances, axis=-1)
-        return np.take_along_axis(order, ranks[..., None] - 1, axis=-1)[..., 0]
+        """Exhaustive k-th-closest lookup (ablation reference).
+
+        N-dimensional and backend-agnostic: works on any-shape inputs
+        from any array module (the stacked kernel feeds ``(S, F, P)``
+        tensors).
+        """
+        xp = resolve_array_module(xp)
+        points = xp.asarray(self.system.constellation.points)
+        distances = xp.abs(effective[..., None] - points) ** 2
+        order = xp.argsort(distances, axis=-1)
+        return xp.take_along_axis(order, ranks[..., None] - 1, axis=-1)[..., 0]
+
+    # ------------------------------------------------------------------
+    # Stacked tensor-walk kernel: a whole coherence block in one pass
+    # ------------------------------------------------------------------
+    def detect_block_prepared(
+        self,
+        contexts,
+        received: np.ndarray,
+        counter: FlopCounter = NULL_COUNTER,
+        xp=None,
+    ) -> "tuple[np.ndarray, list[dict]]":
+        """Detect a ``(S, F, Nr)`` block over ``S`` prepared contexts.
+
+        Subcarriers sharing an active path count are stacked into one
+        ``(G, F, P, Nt)`` tensor and all their tree levels walk in a
+        handful of array operations — the §5.2 "thousands of independent
+        processing elements" mapping.  ``xp`` selects the array module
+        (numpy default; cupy/torch run the same kernel on their own
+        arrays).  Under numpy the result is bit-identical to calling
+        :meth:`detect_prepared` per subcarrier.
+
+        Returns ``(indices, metadata)``: ``(S, F, Nt)`` hard decisions in
+        original stream order plus one metadata dict per subcarrier,
+        matching what the per-subcarrier loop would produce.
+        """
+        xp = resolve_array_module(xp)
+        received = self._check_block_received(contexts, received)
+        num_subcarriers, num_frames, _ = received.shape
+        num_streams = self.system.num_streams
+        indices = np.empty(
+            (num_subcarriers, num_frames, num_streams), dtype=np.int64
+        )
+        metadata: list = [None] * num_subcarriers
+        for paths, members in self._group_by_paths(contexts).items():
+            block_indices, deactivated = self._detect_group(
+                [contexts[sc] for sc in members],
+                received[members],
+                xp,
+                counter,
+            )
+            indices[members] = block_indices
+            for j, sc in enumerate(members):
+                metadata[sc] = {
+                    "paths": paths,
+                    "deactivated_path_evaluations": int(deactivated[j]),
+                }
+        return indices, metadata
+
+    def _check_block_received(self, contexts, received) -> np.ndarray:
+        received = np.asarray(received)
+        if received.ndim != 3:
+            raise DimensionError(
+                f"{self.name}: block received must be (S, F, Nr), got "
+                f"{received.shape}"
+            )
+        if received.shape[0] != len(contexts):
+            raise DimensionError(
+                f"{self.name}: {len(contexts)} contexts for "
+                f"{received.shape[0]} received subcarriers"
+            )
+        if received.shape[2] != self.system.num_rx_antennas:
+            raise DimensionError(
+                f"{self.name}: block received has {received.shape[2]} "
+                f"antennas, system expects {self.system.num_rx_antennas}"
+            )
+        return received
+
+    @staticmethod
+    def _group_by_paths(contexts) -> "dict[int, list[int]]":
+        """Subcarrier indices grouped by active path count.
+
+        Contexts in a group stack into one rectangular ``(G, F, P, Nt)``
+        tensor; groups differ only when pre-processing stopped early or
+        a-FlexCore trimmed the active set."""
+        groups: dict[int, list[int]] = {}
+        for sc, context in enumerate(contexts):
+            groups.setdefault(
+                context.position_vectors.shape[0], []
+            ).append(sc)
+        return groups
+
+    def _detect_group(
+        self, contexts, received: np.ndarray, xp, counter: FlopCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hard-detect one equal-path-count group as a stacked tensor."""
+        group, frames, _ = received.shape
+        paths = contexts[0].position_vectors.shape[0]
+        stacked = _StackedContexts.build(contexts, xp)
+        rotated = xp.matmul(xp.asarray(received), xp.conj(stacked.q))
+        chunk = max(1, MAX_CHUNK_ELEMENTS // max(group * paths, 1))
+        pieces = []
+        deactivated = np.zeros(group, dtype=np.int64)
+        for start in range(0, frames, chunk):
+            block = rotated[:, start : start + chunk]
+            sym_indices, ped, alive = self._walk_block(
+                block, stacked, xp, counter, self.use_exact_ordering
+            )
+            ped[~alive] = xp.inf
+            pieces.append(self._best_leaf(sym_indices, ped, xp))
+            deactivated += np.asarray(
+                xp.to_numpy(xp.count_nonzero(~alive, axis=(1, 2))),
+                dtype=np.int64,
+            )
+        chosen = pieces[0] if len(pieces) == 1 else xp.concatenate(pieces, axis=1)
+        restored = self._restore_stream_order(chosen, stacked, xp)
+        return (
+            np.asarray(xp.to_numpy(restored), dtype=np.int64),
+            deactivated,
+        )
+
+    @staticmethod
+    def _best_leaf(sym_indices, ped, xp):
+        """Leaf of the minimum-PED path per element: ``(G, Fc, Nt)``."""
+        group, frames, _, num_streams = sym_indices.shape
+        best = xp.argmin(ped, axis=2)
+        best_idx = xp.broadcast_to(
+            best[:, :, None, None], (group, frames, 1, num_streams)
+        )
+        return xp.take_along_axis(sym_indices, best_idx, axis=2)[:, :, 0, :]
+
+    @staticmethod
+    def _restore_stream_order(chosen, stacked: "_StackedContexts", xp):
+        """Un-permute ``(G, F, Nt)`` decisions to original stream order."""
+        inverse_idx = xp.broadcast_to(
+            xp.asarray(stacked.inverse_permutation)[:, None, :], chosen.shape
+        )
+        return xp.take_along_axis(chosen, inverse_idx, axis=2)
+
+    def _walk_block(
+        self,
+        rotated,
+        stacked: "_StackedContexts",
+        xp,
+        counter: FlopCounter,
+        use_exact: bool,
+    ):
+        """Walk every tree level of a ``(G, Fc, P, Nt)`` element tensor.
+
+        Per level this performs exactly the per-subcarrier kernel's
+        operations, vectorised across the group axis: interference
+        mat-vec, effective point (Eq. 5), triangle-LUT rank lookup,
+        deactivation, PED accumulation (Eq. 1).  Returns the full
+        candidate tensor ``(sym_indices, ped, alive)`` so the hard
+        argmin and the soft LLR reductions can share it.
+        """
+        group, frames = rotated.shape[0], rotated.shape[1]
+        paths = stacked.positions.shape[1]
+        num_streams = self.system.num_streams
+        points = xp.asarray(self.system.constellation.points)
+        symbols = xp.zeros(
+            (group, frames, paths, num_streams), dtype=xp.complex128
+        )
+        sym_indices = xp.zeros(
+            (group, frames, paths, num_streams), dtype=xp.int64
+        )
+        ped = xp.zeros((group, frames, paths), dtype=xp.float64)
+        alive = xp.ones((group, frames, paths), dtype=xp.bool_)
+        for level in range(num_streams - 1, -1, -1):
+            if level + 1 < num_streams:
+                column = stacked.r[:, level, level + 1 :][:, None, :, None]
+                interference = xp.matmul(
+                    symbols[:, :, :, level + 1 :], column
+                )[..., 0]
+            else:
+                interference = xp.zeros(
+                    (group, frames, paths), dtype=xp.float64
+                )
+            effective = (
+                rotated[:, :, level][:, :, None] - interference
+            ) / stacked.diag[:, level][:, None, None]
+            ranks = xp.broadcast_to(
+                stacked.positions[:, None, :, level], (group, frames, paths)
+            )
+            if use_exact:
+                level_indices = self._exact_kth(effective, ranks, xp=xp)
+            else:
+                level_indices = self.ordering.kth_symbol_indices(
+                    effective, ranks, xp=xp
+                )
+            dead = level_indices < 0
+            alive &= ~dead
+            safe = xp.where(dead, 0, level_indices)
+            symbols[:, :, :, level] = points[safe]
+            sym_indices[:, :, :, level] = safe
+            ped += stacked.weights[:, level][:, None, None] * (
+                xp.abs(effective - symbols[:, :, :, level]) ** 2
+            )
+            counter.add_complex_mults(
+                group * frames * paths * (num_streams - 1 - level)
+            )
+            counter.add_real_mults(group * frames * paths * 5)
+        return sym_indices, ped, alive
+
+
+@dataclass
+class _StackedContexts:
+    """Per-group context arrays stacked for the tensor walk.
+
+    ``q``/``r``/``diag``/``weights``/``positions`` live on the kernel's
+    array module; ``inverse_permutation`` stays a host array (it is also
+    consumed by numpy-side result scattering).
+    """
+
+    q: "object"
+    r: "object"
+    diag: "object"
+    weights: "object"
+    positions: "object"
+    inverse_permutation: np.ndarray
+
+    @classmethod
+    def build(cls, contexts, xp) -> "_StackedContexts":
+        return cls(
+            q=xp.asarray(np.stack([c.qr.q for c in contexts])),
+            r=xp.asarray(np.stack([c.qr.r for c in contexts])),
+            diag=xp.asarray(np.stack([c.diag for c in contexts])),
+            weights=xp.asarray(np.stack([c.weights for c in contexts])),
+            positions=xp.asarray(
+                np.stack([c.position_vectors for c in contexts])
+            ),
+            inverse_permutation=np.stack(
+                [np.argsort(c.qr.permutation) for c in contexts]
+            ),
+        )

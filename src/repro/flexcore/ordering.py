@@ -110,48 +110,60 @@ class TriangleOrdering:
 
     # ------------------------------------------------------------------
     def kth_symbol_indices(
-        self, effective: np.ndarray, ranks: np.ndarray
+        self, effective: np.ndarray, ranks: np.ndarray, xp=None
     ) -> np.ndarray:
         """Vectorised k-th-closest lookup.
 
         Parameters
         ----------
         effective:
-            Complex effective received points (any shape), in the
-            constellation's unit-energy units.
+            Complex effective received points (any shape, any number of
+            dimensions — the stacked runtime feeds ``(S, F, P)`` tensors),
+            in the constellation's unit-energy units.
         ranks:
             Same-shape integer array of 1-based ranks.
+        xp:
+            Array module the lookup runs on (see :mod:`repro.utils.xp`);
+            numpy by default, in which case the arithmetic is identical
+            to plain numpy code.
 
         Returns
         -------
         Same-shape integer array of symbol indices, with ``-1`` marking
         deactivated lookups (k-th candidate outside the constellation).
         """
+        from repro.utils.xp import resolve_array_module
+
+        xp = resolve_array_module(xp)
         constellation = self.constellation
         side = constellation.side
-        z = np.asarray(effective) / constellation.scale
-        zr, zi = z.real, z.imag
+        z = xp.asarray(effective) / constellation.scale
+        zr, zi = xp.real(z), xp.imag(z)
 
         clamp = max(side - 2, 0)
-        centre_u = np.clip(2 * np.round(zr / 2.0).astype(np.int64), -clamp, clamp)
-        centre_v = np.clip(2 * np.round(zi / 2.0).astype(np.int64), -clamp, clamp)
+        centre_u = xp.clip(
+            2 * xp.astype(xp.round(zr / 2.0), xp.int64), -clamp, clamp
+        )
+        centre_v = xp.clip(
+            2 * xp.astype(xp.round(zi / 2.0), xp.int64), -clamp, clamp
+        )
 
         dx = zr - centre_u
         dy = zi - centre_v
-        sign_x = np.where(dx >= 0, 1, -1)
-        sign_y = np.where(dy >= 0, 1, -1)
-        swap = np.abs(dy) > np.abs(dx)
+        sign_x = xp.where(dx >= 0, 1, -1)
+        sign_y = xp.where(dy >= 0, 1, -1)
+        swap = xp.abs(dy) > xp.abs(dx)
 
-        ranks = np.asarray(ranks)
+        ranks = xp.asarray(ranks)
         valid_rank = (ranks >= 1) & (ranks <= self.max_rank)
-        safe = np.where(valid_rank, ranks, 1) - 1
-        base = self.offsets[safe]  # (..., 2) canonical offsets
-        du = np.where(swap, base[..., 1], base[..., 0])
-        dv = np.where(swap, base[..., 0], base[..., 1])
+        safe = xp.where(valid_rank, ranks, 1) - 1
+        base = xp.asarray(self.offsets)[safe]  # (..., 2) canonical offsets
+        du = xp.where(swap, base[..., 1], base[..., 0])
+        dv = xp.where(swap, base[..., 0], base[..., 1])
         u = centre_u + sign_x * du
         v = centre_v + sign_y * dv
-        indices = constellation.grid_to_index(u, v)
-        return np.where(valid_rank, indices, -1)
+        indices = constellation.grid_to_index(u, v, xp=xp)
+        return xp.where(valid_rank, indices, -1)
 
     def order_for_point(self, effective: complex) -> np.ndarray:
         """Full approximate order of symbol indices for one point.

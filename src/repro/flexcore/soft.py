@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.flexcore.detector import FlexCoreContext, FlexCoreDetector
+from repro.flexcore.detector import (
+    FlexCoreContext,
+    FlexCoreDetector,
+    _StackedContexts,
+)
 from repro.utils.bits import ints_to_bits
 from repro.utils.flops import NULL_COUNTER, FlopCounter
+from repro.utils.xp import resolve_array_module
 
 #: Bound on (batch-chunk x paths) live elements, matching the hard path.
 MAX_CHUNK_ELEMENTS = 1 << 18
@@ -211,6 +216,141 @@ class SoftFlexCoreDetector(FlexCoreDetector):
         clamped = int(np.count_nonzero(missing_one | missing_zero))
         counter.add_comparisons(batch * paths * num_streams * bits_per_symbol)
         return hard, llrs, clamped
+
+    # ------------------------------------------------------------------
+    # Stacked tensor-walk soft kernel
+    # ------------------------------------------------------------------
+    def detect_soft_block_prepared(
+        self,
+        contexts,
+        received: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+        xp=None,
+    ) -> "tuple[np.ndarray, np.ndarray, list[dict]]":
+        """Soft-detect a ``(S, F, Nr)`` block over prepared contexts.
+
+        The stacked analogue of :meth:`detect_soft_prepared`: subcarriers
+        sharing a path count walk as one ``(G, F, P, Nt)`` tensor (the
+        hard detector's kernel) and the bit-wise LLR minima reduce over
+        the stacked path axis.  Under numpy the hard decisions *and* the
+        LLRs are bit-identical to the per-subcarrier path.
+
+        Returns ``(indices, llrs, metadata)`` with shapes ``(S, F, Nt)``
+        / ``(S, F, Nt * bits_per_symbol)``.
+        """
+        xp = resolve_array_module(xp)
+        received = self._check_block_received(contexts, received)
+        num_subcarriers, num_frames, _ = received.shape
+        num_streams = self.system.num_streams
+        width = num_streams * self.system.constellation.bits_per_symbol
+        indices = np.empty(
+            (num_subcarriers, num_frames, num_streams), dtype=np.int64
+        )
+        llrs = np.empty((num_subcarriers, num_frames, width))
+        metadata: list = [None] * num_subcarriers
+        for paths, members in self._group_by_paths(contexts).items():
+            block_indices, block_llrs, clamped = self._detect_soft_group(
+                [contexts[sc] for sc in members],
+                received[members],
+                noise_var,
+                xp,
+                counter,
+            )
+            indices[members] = block_indices
+            llrs[members] = block_llrs
+            for j, sc in enumerate(members):
+                metadata[sc] = {
+                    "paths": max(paths, 1),
+                    "clamped_bits": int(clamped[j]),
+                }
+        return indices, llrs, metadata
+
+    def _detect_soft_group(
+        self,
+        contexts,
+        received: np.ndarray,
+        noise_var: float,
+        xp,
+        counter: FlopCounter,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        group, frames, _ = received.shape
+        paths = max(contexts[0].position_vectors.shape[0], 1)
+        num_streams = self.system.num_streams
+        bits_per_symbol = self.system.constellation.bits_per_symbol
+        width = num_streams * bits_per_symbol
+        stacked = _StackedContexts.build(contexts, xp)
+        rotated = xp.matmul(xp.asarray(received), xp.conj(stacked.q))
+        bits_table = xp.asarray(self._bits_of_index)
+        chunk = max(1, MAX_CHUNK_ELEMENTS // max(group * paths, 1))
+        hard_pieces = []
+        llr_pieces = []
+        clamped = np.zeros(group, dtype=np.int64)
+        for start in range(0, frames, chunk):
+            block = rotated[:, start : start + chunk]
+            block_frames = block.shape[1]
+            # The candidate walk ignores the exact-ordering ablation,
+            # matching the per-subcarrier ``_candidate_list``.
+            sym_indices, ped, alive = self._walk_block(
+                block, stacked, xp, counter, use_exact=False
+            )
+            ped[~alive] = xp.inf
+            hard_pieces.append(self._best_leaf(sym_indices, ped, xp))
+            candidate_bits = xp.astype(
+                bits_table[sym_indices].reshape(
+                    group, block_frames, paths, width
+                ),
+                xp.bool_,
+            )
+            ped_expanded = ped[:, :, :, None]
+            min_if_one = xp.amin(
+                xp.where(candidate_bits, ped_expanded, xp.inf), axis=2
+            )
+            min_if_zero = xp.amin(
+                xp.where(~candidate_bits, ped_expanded, xp.inf), axis=2
+            )
+            with np.errstate(invalid="ignore"):
+                block_llrs = (min_if_one - min_if_zero) / noise_var
+            missing_one = ~xp.isfinite(min_if_one)
+            missing_zero = ~xp.isfinite(min_if_zero)
+            block_llrs = xp.where(missing_one, self.llr_clip, block_llrs)
+            block_llrs = xp.where(missing_zero, -self.llr_clip, block_llrs)
+            block_llrs = xp.clip(block_llrs, -self.llr_clip, self.llr_clip)
+            llr_pieces.append(block_llrs)
+            clamped += np.asarray(
+                xp.to_numpy(
+                    xp.count_nonzero(missing_one | missing_zero, axis=(1, 2))
+                ),
+                dtype=np.int64,
+            )
+            counter.add_comparisons(
+                group * block_frames * paths * num_streams * bits_per_symbol
+            )
+        hard = (
+            hard_pieces[0]
+            if len(hard_pieces) == 1
+            else xp.concatenate(hard_pieces, axis=1)
+        )
+        soft = (
+            llr_pieces[0]
+            if len(llr_pieces) == 1
+            else xp.concatenate(llr_pieces, axis=1)
+        )
+        hard = self._restore_stream_order(hard, stacked, xp)
+        grouped = soft.reshape(group, frames, num_streams, bits_per_symbol)
+        llr_idx = xp.broadcast_to(
+            xp.asarray(stacked.inverse_permutation)[:, None, :, None],
+            (group, frames, num_streams, bits_per_symbol),
+        )
+        restored = xp.take_along_axis(grouped, llr_idx, axis=2)
+        return (
+            np.asarray(xp.to_numpy(hard), dtype=np.int64),
+            np.asarray(
+                xp.to_numpy(restored.reshape(group, frames, width)),
+                dtype=np.float64,
+            ),
+            clamped,
+        )
 
     def _restore_llr_order(
         self, context: FlexCoreContext, llrs: np.ndarray

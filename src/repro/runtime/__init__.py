@@ -9,14 +9,17 @@ as a detector-agnostic runtime:
 * :class:`UplinkBatch` / :class:`BatchDetectionResult` — the
   ``(subcarriers x frames)`` workload and its stacked output;
 * :class:`ContextCache` — content-addressed coherence cache of prepared
-  channel contexts;
-* :class:`SerialBackend` / :class:`ProcessPoolBackend` — pluggable
-  execution backends sharding subcarriers;
+  channel contexts, with a stacked-QR block-prepare path for misses;
+* :class:`SerialBackend` / :class:`ProcessPoolBackend` /
+  :class:`ArrayBackend` — pluggable execution backends: per-subcarrier
+  loop, sharded worker pool, or one stacked ``(S, F, P, Nt)`` tensor
+  walk on a numpy/cupy/torch array module (``REPRO_ARRAY_BACKEND``);
 * :class:`BatchedUplinkEngine` — the façade the link simulator, the
   experiment harness and the examples drive.
 """
 
 from repro.runtime.backends import (
+    ArrayBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -26,8 +29,17 @@ from repro.runtime.backends import (
 from repro.runtime.batch import BatchDetectionResult, UplinkBatch
 from repro.runtime.cache import ContextCache, context_key
 from repro.runtime.engine import BatchedUplinkEngine
+from repro.runtime.xp import (
+    ARRAY_BACKEND_ENV,
+    ArrayModule,
+    available_array_modules,
+    resolve_array_module,
+)
 
 __all__ = [
+    "ARRAY_BACKEND_ENV",
+    "ArrayBackend",
+    "ArrayModule",
     "BatchDetectionResult",
     "BatchedUplinkEngine",
     "ContextCache",
@@ -35,7 +47,9 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "UplinkBatch",
+    "available_array_modules",
     "available_backends",
     "context_key",
     "make_backend",
+    "resolve_array_module",
 ]

@@ -2,12 +2,17 @@
 
 The engine splits an uplink batch into contiguous subcarrier shards and
 hands (worker, shards) to a backend.  ``serial`` runs them in-process —
-the right choice under numpy, whose vectorised kernels already saturate
-the memory bus for one shard.  ``process-pool`` forks workers and maps
-shards across them, the software analogue of the paper's multi-GPU
-"one device per subcarrier range" sharding (§5.2); it pays one detector
-pickle per shard, so it wins only when per-shard work dominates —
-exactly the regime of large constellations and many paths.
+one vectorised kernel call per subcarrier.  ``process-pool`` forks
+workers and maps shards across them, the software analogue of the
+paper's multi-GPU "one device per subcarrier range" sharding (§5.2); it
+pays one detector pickle per shard, so it wins only when per-shard work
+dominates — exactly the regime of large constellations and many paths.
+``array`` dispenses with shards entirely: detectors providing a stacked
+kernel walk the whole coherence block as one ``(S, F, P, Nt)`` tensor on
+a pluggable array module (numpy default, cupy/torch via
+``REPRO_ARRAY_BACKEND`` — see :mod:`repro.runtime.xp`), which is the
+paper's actual execution model — every (subcarrier x path) processing
+element in flight at once.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.utils.xp import ArrayModule, default_array_module, resolve_array_module
 
 
 class ExecutionBackend(abc.ABC):
@@ -102,10 +108,46 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor = None
 
 
+class ArrayBackend(ExecutionBackend):
+    """Stacked tensor-walk execution on a pluggable array module.
+
+    The engine bypasses sharding for this backend: contexts for the whole
+    batch are prepared through the cache (cache misses factorised by one
+    stacked QR) and detectors with a block kernel
+    (:attr:`repro.detectors.base.Detector.has_block_kernel`) walk all
+    subcarriers of equal path count as a single ``(S, F, P, Nt)`` tensor.
+    Detectors without one fall back to the serial per-subcarrier loop —
+    the backend is always safe to select.
+
+    Parameters
+    ----------
+    array_module:
+        An :class:`~repro.runtime.xp.ArrayModule`, a name (``"numpy"``,
+        ``"cupy"``, ``"torch"``), or ``None`` to honour the
+        ``REPRO_ARRAY_BACKEND`` environment variable (numpy when unset).
+    """
+
+    name = "array"
+
+    def __init__(self, array_module: "str | ArrayModule | None" = None):
+        if array_module is None:
+            self.array_module = default_array_module()
+        else:
+            self.array_module = resolve_array_module(array_module)
+
+    def run(self, worker: Callable, payloads: Sequence) -> list:
+        # Satisfies the ExecutionBackend ABC only: the engine dispatches
+        # ArrayBackend batches straight to its stacked path (including
+        # the in-process loop for detectors without a block kernel) and
+        # never calls run().
+        return [worker(payload) for payload in payloads]
+
+
 _BACKENDS = {
     "serial": SerialBackend,
     "process-pool": ProcessPoolBackend,
     "process": ProcessPoolBackend,
+    "array": ArrayBackend,
 }
 
 

@@ -94,6 +94,61 @@ class ContextCache:
             self._entries.move_to_end(key)
         return context
 
+    def get_or_prepare_block(
+        self,
+        detector,
+        channels: np.ndarray,
+        noise_var: float,
+        counter: FlopCounter = NULL_COUNTER,
+    ) -> list:
+        """Serve a whole ``(S, Nr, Nt)`` coherence block of contexts.
+
+        Cache misses are deduplicated and prepared in one
+        ``detector.prepare_many`` call — the stacked-QR fast path — then
+        the block replays the exact per-subcarrier LRU bookkeeping, so
+        hit/miss/eviction statistics and charged FLOPs are identical to
+        calling :meth:`get_or_prepare` once per subcarrier.
+        """
+        channels = np.asarray(channels)
+        keys = [
+            context_key(channels[sc], noise_var)
+            for sc in range(channels.shape[0])
+        ]
+        fresh_slots: "OrderedDict[bytes, int]" = OrderedDict()
+        for sc, key in enumerate(keys):
+            if key not in self._entries and key not in fresh_slots:
+                fresh_slots[key] = sc
+        fresh: dict[bytes, Any] = {}
+        if fresh_slots:
+            prepared = detector.prepare_many(
+                channels[list(fresh_slots.values())], noise_var,
+                counter=counter,
+            )
+            fresh = dict(zip(fresh_slots, prepared))
+        contexts = []
+        for key, channel_index in zip(keys, range(channels.shape[0])):
+            try:
+                context = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                context = fresh.pop(key, None)
+                if context is None:
+                    # A duplicate key whose first insertion was already
+                    # evicted (cache smaller than the block): re-prepare,
+                    # exactly as the serial loop would.
+                    context = detector.prepare(
+                        channels[channel_index], noise_var, counter=counter
+                    )
+                self._entries[key] = context
+                if len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            contexts.append(context)
+        return contexts
+
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Drop all contexts (e.g. on a coherence-interval boundary)."""

@@ -10,9 +10,12 @@ throughput argument on:
   ``(channel, noise_var)`` and served from a content-addressed cache for
   every frame and every recurrence of that channel.
 * **Subcarrier parallelism** (§5.2): the independent per-subcarrier
-  detection problems shard across an execution backend (in-process
-  ``serial`` or a ``process-pool``), mirroring how the paper spreads
-  subcarrier ranges across CUDA streams and devices.
+  detection problems run on an execution backend — in-process
+  ``serial``, a ``process-pool`` sharding subcarrier ranges the way the
+  paper spreads them across CUDA streams and devices, or ``array``,
+  which stacks every subcarrier of equal path count into one
+  ``(S, F, P, Nt)`` tensor walk on a pluggable array module
+  (numpy/cupy/torch — the paper's massively-parallel execution model).
 
 The engine is detector-agnostic: anything satisfying the
 :class:`~repro.detectors.base.Detector` contract (hard output) works, and
@@ -26,6 +29,7 @@ import numpy as np
 from repro.detectors.base import Detector
 from repro.errors import ConfigurationError, LinkSimulationError
 from repro.runtime.backends import (
+    ArrayBackend,
     ExecutionBackend,
     SerialBackend,
     make_backend,
@@ -125,7 +129,10 @@ class BatchedUplinkEngine:
         :func:`repro.detectors.registry.make_detector` to build one by
         name.
     backend:
-        ``"serial"`` (default), ``"process-pool"``, or a pre-built
+        ``"serial"`` (default), ``"process-pool"``, ``"array"`` (stacked
+        tensor walk; array module from ``REPRO_ARRAY_BACKEND`` unless an
+        :class:`~repro.runtime.backends.ArrayBackend` is pre-built with
+        one), or any pre-built
         :class:`~repro.runtime.backends.ExecutionBackend`.
     cache_contexts:
         Enable the coherence context cache.  Disabling forces one
@@ -202,6 +209,8 @@ class BatchedUplinkEngine:
             raise LinkSimulationError(
                 f"{self.detector.name} does not produce soft output"
             )
+        if isinstance(self.backend, ArrayBackend):
+            return self._detect_array(batch, counter, use_soft)
         if isinstance(self.backend, SerialBackend):
             return self._detect_serial(batch, counter, use_soft)
         return self._detect_sharded(batch, counter, use_soft)
@@ -262,6 +271,93 @@ class BatchedUplinkEngine:
             contexts,
             self._cache.hits - hits_before,
             self._cache.misses - misses_before,
+        )
+
+    def _prepare_contexts_block(
+        self, batch: UplinkBatch, counter: FlopCounter
+    ) -> "tuple[list, int, int]":
+        """Block analogue of :meth:`_prepare_contexts`.
+
+        Cache misses for the whole coherence block are prepared in one
+        ``prepare_many`` call (the stacked-QR path); with caching
+        disabled every subcarrier is prepared, un-deduplicated, in one
+        stacked call — the same work the serial baseline does one
+        channel at a time.
+        """
+        if not self.cache_contexts:
+            contexts = self.detector.prepare_many(
+                batch.channels, batch.noise_var, counter=counter
+            )
+            return contexts, 0, batch.num_subcarriers
+        hits_before, misses_before = self._cache.hits, self._cache.misses
+        contexts = self._cache.get_or_prepare_block(
+            self.detector, batch.channels, batch.noise_var, counter=counter
+        )
+        return (
+            contexts,
+            self._cache.hits - hits_before,
+            self._cache.misses - misses_before,
+        )
+
+    def _detect_array(
+        self, batch: UplinkBatch, counter: FlopCounter, use_soft: bool
+    ) -> BatchDetectionResult:
+        """Stacked tensor-walk path: the whole block in a few array ops.
+
+        Detectors without a block kernel (or without a soft one when
+        ``use_soft``) run the per-subcarrier loop on the backend's
+        thread instead — selecting ``backend="array"`` is always safe.
+        """
+        xp = self.backend.array_module
+        detector = self.detector
+        contexts, cache_hits, prepared = self._prepare_contexts_block(
+            batch, counter
+        )
+        stacked = detector.has_block_kernel and (
+            not use_soft
+            or callable(getattr(detector, "detect_soft_block_prepared", None))
+        )
+        llrs = None
+        if not stacked:
+            indices, llrs, metadata = _detect_block(
+                detector,
+                batch.channels,
+                batch.received,
+                batch.noise_var,
+                contexts,
+                counter,
+                use_soft,
+            )
+        elif use_soft:
+            indices, llrs, metadata = detector.detect_soft_block_prepared(
+                contexts,
+                batch.received,
+                batch.noise_var,
+                counter=counter,
+                xp=xp,
+            )
+        else:
+            indices, metadata = detector.detect_block_prepared(
+                contexts, batch.received, counter=counter, xp=xp
+            )
+        path_groups = len(
+            {getattr(context, "active_paths", 0) for context in contexts}
+        )
+        return BatchDetectionResult(
+            indices=indices,
+            llrs=llrs,
+            per_subcarrier_metadata=metadata,
+            stats={
+                "backend": self.backend.name,
+                "array_module": xp.name,
+                "stacked": stacked,
+                "path_groups": path_groups,
+                "shards": 1,
+                "subcarriers": batch.num_subcarriers,
+                "frames": batch.num_frames,
+                "cache_hits": cache_hits,
+                "contexts_prepared": prepared,
+            },
         )
 
     def _detect_serial(

@@ -1,0 +1,34 @@
+"""Runtime-facing home of the array-module abstraction.
+
+The implementation lives in :mod:`repro.utils.xp` so the kernel layers
+(:mod:`repro.flexcore`, :mod:`repro.modulation`) can use it without
+importing the runtime package; this module re-exports it as the public
+name the execution backends and user code import.
+
+Select a module per call (``resolve_array_module("torch")``), per engine
+(``BatchedUplinkEngine(detector, backend="array")`` with
+``make_backend("array", array_module=...)``), or globally via the
+``REPRO_ARRAY_BACKEND`` environment variable.
+"""
+
+from repro.utils.xp import (
+    ARRAY_BACKEND_ENV,
+    ArrayModule,
+    CupyArrayModule,
+    NumpyArrayModule,
+    TorchArrayModule,
+    available_array_modules,
+    default_array_module,
+    resolve_array_module,
+)
+
+__all__ = [
+    "ARRAY_BACKEND_ENV",
+    "ArrayModule",
+    "CupyArrayModule",
+    "NumpyArrayModule",
+    "TorchArrayModule",
+    "available_array_modules",
+    "default_array_module",
+    "resolve_array_module",
+]

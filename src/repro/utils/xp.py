@@ -1,0 +1,359 @@
+"""Array-module abstraction behind the stacked detection kernels.
+
+The stacked tensor-walk (§5.2 of the paper: thousands of independent
+(subcarrier x path) processing elements mapped onto wide parallel
+hardware) is written once against the small numpy-flavoured API below and
+runs unchanged on any array library that implements it:
+
+* ``numpy`` — the default and the bit-exactness reference; every wrapper
+  is a direct delegation, so kernels behave identically to hand-written
+  numpy code.
+* ``cupy`` — numpy-compatible device arrays; resolved lazily so CUDA is
+  never a hard dependency.
+* ``torch`` — a thin adapter translating the handful of API differences
+  (``astype`` vs ``Tensor.to``, ``take_along_axis`` vs ``gather`` …).
+
+Selection: pass an :class:`ArrayModule` (or its name) explicitly, or set
+the ``REPRO_ARRAY_BACKEND`` environment variable; unset means numpy.
+Modules are resolved lazily and cached, so merely importing this file
+never imports cupy or torch.
+
+This module lives under ``repro.utils`` so the kernel layers
+(:mod:`repro.flexcore`, :mod:`repro.modulation`) can import it without
+pulling in the runtime package; :mod:`repro.runtime.xp` re-exports it as
+the public runtime-facing name.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+
+#: Environment variable naming the default array module.
+ARRAY_BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+
+
+class ArrayModule:
+    """Numpy-flavoured facade over one array library.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"cupy"``, ``"torch"``).
+    complex128, float64, int64, bool_:
+        The library's dtype objects for the four dtypes the kernels use.
+    inf:
+        Positive infinity as a host scalar.
+    """
+
+    name = "array"
+
+    # -- conversion ----------------------------------------------------
+    def asarray(self, a, dtype=None):
+        raise NotImplementedError
+
+    def astype(self, a, dtype):
+        raise NotImplementedError
+
+    def to_numpy(self, a):
+        """Return ``a`` as a host numpy array (no-op for numpy)."""
+        raise NotImplementedError
+
+
+class NumpyArrayModule(ArrayModule):
+    """The reference module: every method delegates straight to numpy,
+    so kernels written against it are bit-identical to plain numpy code."""
+
+    name = "numpy"
+
+    def __init__(self):
+        import numpy
+
+        self._np = numpy
+        self.complex128 = numpy.complex128
+        self.float64 = numpy.float64
+        self.int64 = numpy.int64
+        self.bool_ = numpy.bool_
+        self.inf = float("inf")
+
+    # -- conversion ----------------------------------------------------
+    def asarray(self, a, dtype=None):
+        return self._np.asarray(a, dtype=dtype)
+
+    def astype(self, a, dtype):
+        return a.astype(dtype)
+
+    def to_numpy(self, a):
+        return self._np.asarray(a)
+
+    # -- creation ------------------------------------------------------
+    def zeros(self, shape, dtype=None):
+        return self._np.zeros(shape, dtype=dtype)
+
+    def ones(self, shape, dtype=None):
+        return self._np.ones(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=None):
+        return self._np.empty(shape, dtype=dtype)
+
+    def full(self, shape, value, dtype=None):
+        return self._np.full(shape, value, dtype=dtype)
+
+    def arange(self, n):
+        return self._np.arange(n)
+
+    # -- manipulation --------------------------------------------------
+    def where(self, condition, a, b):
+        return self._np.where(condition, a, b)
+
+    def broadcast_to(self, a, shape):
+        return self._np.broadcast_to(a, shape)
+
+    def concatenate(self, arrays, axis=0):
+        return self._np.concatenate(arrays, axis=axis)
+
+    def stack(self, arrays, axis=0):
+        return self._np.stack(arrays, axis=axis)
+
+    def take_along_axis(self, a, indices, axis):
+        return self._np.take_along_axis(a, indices, axis=axis)
+
+    # -- math ----------------------------------------------------------
+    def matmul(self, a, b):
+        return self._np.matmul(a, b)
+
+    def abs(self, a):
+        return self._np.abs(a)
+
+    def sqrt(self, a):
+        return self._np.sqrt(a)
+
+    def round(self, a):
+        return self._np.round(a)
+
+    def clip(self, a, lo, hi):
+        return self._np.clip(a, lo, hi)
+
+    def argmin(self, a, axis):
+        return self._np.argmin(a, axis=axis)
+
+    def argsort(self, a, axis=-1):
+        return self._np.argsort(a, axis=axis)
+
+    def amin(self, a, axis):
+        return self._np.min(a, axis=axis)
+
+    def isfinite(self, a):
+        return self._np.isfinite(a)
+
+    def count_nonzero(self, a, axis=None):
+        return self._np.count_nonzero(a, axis=axis)
+
+    def real(self, a):
+        return self._np.real(a)
+
+    def imag(self, a):
+        return self._np.imag(a)
+
+    def conj(self, a):
+        return self._np.conj(a)
+
+
+class CupyArrayModule(NumpyArrayModule):
+    """CuPy shares numpy's API; only conversion crosses the device."""
+
+    name = "cupy"
+
+    def __init__(self):
+        import cupy
+
+        self._np = cupy
+        self.complex128 = cupy.complex128
+        self.float64 = cupy.float64
+        self.int64 = cupy.int64
+        self.bool_ = cupy.bool_
+        self.inf = float("inf")
+
+    def to_numpy(self, a):
+        return self._np.asnumpy(a)
+
+
+class TorchArrayModule(ArrayModule):
+    """Adapter mapping the kernel API onto torch tensors (CPU device)."""
+
+    name = "torch"
+
+    def __init__(self):
+        import torch
+
+        self._torch = torch
+        self.complex128 = torch.complex128
+        self.float64 = torch.float64
+        self.int64 = torch.int64
+        self.bool_ = torch.bool
+        self.inf = float("inf")
+
+    # -- conversion ----------------------------------------------------
+    def asarray(self, a, dtype=None):
+        torch = self._torch
+        tensor = a if isinstance(a, torch.Tensor) else torch.as_tensor(a)
+        if dtype is not None and tensor.dtype != dtype:
+            tensor = tensor.to(dtype)
+        return tensor
+
+    def astype(self, a, dtype):
+        return a.to(dtype)
+
+    def to_numpy(self, a):
+        return a.resolve_conj().detach().cpu().numpy()
+
+    # -- creation ------------------------------------------------------
+    def zeros(self, shape, dtype=None):
+        return self._torch.zeros(shape, dtype=dtype)
+
+    def ones(self, shape, dtype=None):
+        return self._torch.ones(shape, dtype=dtype)
+
+    def empty(self, shape, dtype=None):
+        return self._torch.empty(shape, dtype=dtype)
+
+    def full(self, shape, value, dtype=None):
+        return self._torch.full(shape, value, dtype=dtype)
+
+    def arange(self, n):
+        return self._torch.arange(n)
+
+    # -- manipulation --------------------------------------------------
+    def where(self, condition, a, b):
+        torch = self._torch
+        # torch.where needs at least one tensor operand; numpy accepts
+        # two scalars (e.g. where(dx >= 0, 1, -1)).
+        if not isinstance(a, torch.Tensor) and not isinstance(b, torch.Tensor):
+            a = torch.as_tensor(a)
+            b = torch.as_tensor(b, dtype=a.dtype)
+        return torch.where(condition, a, b)
+
+    def broadcast_to(self, a, shape):
+        return self._torch.broadcast_to(a, shape)
+
+    def concatenate(self, arrays, axis=0):
+        return self._torch.cat(list(arrays), dim=axis)
+
+    def stack(self, arrays, axis=0):
+        return self._torch.stack(list(arrays), dim=axis)
+
+    def take_along_axis(self, a, indices, axis):
+        # Kernels pre-broadcast ``indices``, so gather's same-ndim
+        # contract always holds.
+        return self._torch.gather(a, axis, indices)
+
+    # -- math ----------------------------------------------------------
+    def matmul(self, a, b):
+        return self._torch.matmul(a, b)
+
+    def abs(self, a):
+        return self._torch.abs(a)
+
+    def sqrt(self, a):
+        return self._torch.sqrt(a)
+
+    def round(self, a):
+        return self._torch.round(a)
+
+    def clip(self, a, lo, hi):
+        return self._torch.clip(a, lo, hi)
+
+    def argmin(self, a, axis):
+        return self._torch.argmin(a, dim=axis)
+
+    def argsort(self, a, axis=-1):
+        return self._torch.argsort(a, dim=axis)
+
+    def amin(self, a, axis):
+        return self._torch.amin(a, dim=axis)
+
+    def isfinite(self, a):
+        return self._torch.isfinite(a)
+
+    def count_nonzero(self, a, axis=None):
+        if axis is None:
+            return self._torch.count_nonzero(a)
+        return self._torch.count_nonzero(a, dim=axis)
+
+    def real(self, a):
+        return self._torch.real(a)
+
+    def imag(self, a):
+        return self._torch.imag(a)
+
+    def conj(self, a):
+        return self._torch.conj(a)
+
+
+_FACTORIES = {
+    "numpy": NumpyArrayModule,
+    "cupy": CupyArrayModule,
+    "torch": TorchArrayModule,
+}
+_MODULES: dict[str, ArrayModule] = {}
+
+
+def resolve_array_module(spec=None) -> ArrayModule:
+    """Resolve an array module by name or instance.
+
+    ``spec`` may be an :class:`ArrayModule` (returned as-is), a registry
+    name, or ``None`` — which means numpy: kernels called without an
+    explicit module always behave like plain numpy code.  The
+    ``REPRO_ARRAY_BACKEND`` environment knob is consulted only where a
+    *backend* is being configured — see :func:`default_array_module`.
+    Optional libraries are imported lazily on first resolution; a missing
+    library raises :class:`~repro.errors.ConfigurationError` with the
+    failing import in the message.
+    """
+    if isinstance(spec, ArrayModule):
+        return spec
+    if spec is None:
+        spec = "numpy"
+    name = str(spec).strip().lower()
+    module = _MODULES.get(name)
+    if module is not None:
+        return module
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown array module {spec!r}; "
+            f"options: {tuple(sorted(_FACTORIES))}"
+        ) from None
+    try:
+        module = factory()
+    except ImportError as error:
+        raise ConfigurationError(
+            f"array module {name!r} is not importable here ({error}); "
+            f"install it or unset {ARRAY_BACKEND_ENV}"
+        ) from None
+    _MODULES[name] = module
+    return module
+
+
+def default_array_module() -> ArrayModule:
+    """The module named by ``REPRO_ARRAY_BACKEND`` (numpy when unset).
+
+    This is the configuration-level entry point the ``"array"`` execution
+    backend uses when built without an explicit module; per-call kernel
+    defaults deliberately stay numpy regardless of the environment.
+    """
+    return resolve_array_module(os.environ.get(ARRAY_BACKEND_ENV) or "numpy")
+
+
+def available_array_modules() -> tuple[str, ...]:
+    """Names of the array modules importable in this environment."""
+    names = []
+    for name in sorted(_FACTORIES):
+        try:
+            resolve_array_module(name)
+        except ConfigurationError:
+            continue
+        names.append(name)
+    return tuple(names)

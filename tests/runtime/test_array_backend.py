@@ -1,0 +1,377 @@
+"""The stacked tensor-walk (``array``) backend vs the serial loop.
+
+The array backend's contract is strict: under the numpy module its
+output — hard indices, soft LLRs, per-subcarrier metadata, cache
+statistics and charged FLOPs — is *bit-identical* to the per-subcarrier
+serial path, across QAM orders, QR methods, path counts and the
+chunking boundary.  Optional modules (torch/cupy) run the same kernel
+and are checked for numerical agreement when importable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channels
+from repro.detectors.registry import make_detector
+from repro.errors import ConfigurationError
+from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
+from repro.flexcore.detector import FlexCoreDetector
+from repro.flexcore.soft import SoftFlexCoreDetector
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.modulation.mapper import random_symbol_indices
+from repro.runtime import (
+    ARRAY_BACKEND_ENV,
+    ArrayBackend,
+    BatchedUplinkEngine,
+    available_array_modules,
+    make_backend,
+    resolve_array_module,
+)
+from repro.utils.flops import FlopCounter
+
+NUM_SUBCARRIERS = 6
+NUM_FRAMES = 4
+
+
+@pytest.fixture(autouse=True)
+def _numpy_default(monkeypatch):
+    """Bit-match assertions assume the numpy module; neutralise any
+    REPRO_ARRAY_BACKEND set in the surrounding environment."""
+    monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+
+
+def make_workload(system, seed, snr_db=16.0, num_subcarriers=NUM_SUBCARRIERS):
+    rng = np.random.default_rng(seed)
+    channels = rayleigh_channels(
+        num_subcarriers, system.num_rx_antennas, system.num_streams, rng
+    )
+    noise_var = noise_variance_for_snr_db(snr_db)
+    received = np.empty(
+        (num_subcarriers, NUM_FRAMES, system.num_rx_antennas),
+        dtype=np.complex128,
+    )
+    for sc in range(num_subcarriers):
+        indices = random_symbol_indices(
+            NUM_FRAMES, system.num_streams, system.constellation, rng
+        )
+        received[sc] = apply_channel(
+            channels[sc],
+            system.constellation.points[indices],
+            noise_var,
+            rng,
+        )
+    return channels, received, noise_var
+
+
+def counters_equal(a: FlopCounter, b: FlopCounter) -> bool:
+    return (
+        a.real_mults == b.real_mults
+        and a.real_adds == b.real_adds
+        and a.comparisons == b.comparisons
+        and a.nodes_visited == b.nodes_visited
+    )
+
+
+class TestArrayBackendEquivalence:
+    @pytest.mark.parametrize("order", [4, 16, 64])
+    @pytest.mark.parametrize("qr_method", ["sorted", "fcsd", "plain"])
+    def test_qam_and_qr_sweep_bit_match(self, order, qr_method):
+        system = MimoSystem(4, 4, QamConstellation(order))
+        detector = FlexCoreDetector(system, num_paths=16, qr_method=qr_method)
+        channels, received, noise_var = make_workload(system, seed=order)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        array = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var
+        )
+        assert array.stats["stacked"]
+        assert np.array_equal(array.indices, serial.indices)
+        assert (
+            array.per_subcarrier_metadata == serial.per_subcarrier_metadata
+        )
+
+    @pytest.mark.parametrize("num_paths", [1, 7, 48, 196])
+    def test_path_count_sweep_bit_match(self, num_paths):
+        system = MimoSystem(4, 6, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=num_paths)
+        channels, received, noise_var = make_workload(system, seed=num_paths)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        array = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var
+        )
+        assert np.array_equal(array.indices, serial.indices)
+
+    def test_soft_llrs_bit_match(self):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = SoftFlexCoreDetector(system, num_paths=24)
+        channels, received, noise_var = make_workload(system, seed=3)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var, use_soft=True
+        )
+        array = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var, use_soft=True
+        )
+        assert np.array_equal(array.indices, serial.indices)
+        assert np.array_equal(array.llrs, serial.llrs)
+        assert (
+            array.per_subcarrier_metadata == serial.per_subcarrier_metadata
+        )
+
+    def test_exact_ordering_ablation_bit_match(self):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(
+            system, num_paths=24, use_exact_ordering=True
+        )
+        channels, received, noise_var = make_workload(system, seed=9)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        array = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var
+        )
+        assert np.array_equal(array.indices, serial.indices)
+
+    def test_adaptive_mixed_path_groups(self):
+        """a-FlexCore trims per-channel active sets, so the block splits
+        into several (G, F, P, Nt) groups; output must still bit-match."""
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = AdaptiveFlexCoreDetector(system, num_paths=32)
+        channels, received, noise_var = make_workload(system, seed=11)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        array = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var
+        )
+        assert array.stats["path_groups"] >= 1
+        assert np.array_equal(array.indices, serial.indices)
+        assert (
+            array.per_subcarrier_metadata == serial.per_subcarrier_metadata
+        )
+
+    def test_non_block_detector_falls_back(self):
+        system = MimoSystem(3, 4, QamConstellation(16))
+        detector = make_detector("mmse", system)
+        channels, received, noise_var = make_workload(system, seed=13)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        array = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var
+        )
+        assert not array.stats["stacked"]
+        assert np.array_equal(array.indices, serial.indices)
+
+    def test_cache_disabled_matches(self):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=12)
+        channels, received, noise_var = make_workload(system, seed=17)
+        cached = BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var
+        )
+        uncached = BatchedUplinkEngine(
+            detector, backend="array", cache_contexts=False
+        ).detect_batch(channels, received, noise_var)
+        assert np.array_equal(cached.indices, uncached.indices)
+
+    def test_cache_statistics_match_serial(self):
+        """Coherent duplicates must produce the same hit/miss accounting
+        on the block-prepare path as on the per-subcarrier path."""
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=8)
+        channels, received, noise_var = make_workload(system, seed=19)
+        # Duplicate channels: half the block is coherent repeats.
+        channels = np.concatenate([channels, channels[:3]], axis=0)
+        received = np.concatenate([received, received[:3]], axis=0)
+        serial_engine = BatchedUplinkEngine(detector)
+        serial = serial_engine.detect_batch(channels, received, noise_var)
+        array_engine = BatchedUplinkEngine(detector, backend="array")
+        array = array_engine.detect_batch(channels, received, noise_var)
+        assert array.stats["cache_hits"] == serial.stats["cache_hits"] == 3
+        assert (
+            array.stats["contexts_prepared"]
+            == serial.stats["contexts_prepared"]
+            == NUM_SUBCARRIERS
+        )
+        assert array_engine.cache_stats == serial_engine.cache_stats
+        assert np.array_equal(array.indices, serial.indices)
+
+
+class TestFlopParity:
+    """Satellite regression: per-batch FLOP totals of the stacked path
+    match the per-subcarrier loop exactly."""
+
+    def test_hard_path_counters_match(self):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=16)
+        channels, received, noise_var = make_workload(system, seed=23)
+        serial_counter, array_counter = FlopCounter(), FlopCounter()
+        BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var, counter=serial_counter
+        )
+        BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var, counter=array_counter
+        )
+        assert counters_equal(serial_counter, array_counter)
+
+    def test_soft_path_counters_match(self):
+        system = MimoSystem(3, 3, QamConstellation(16))
+        detector = SoftFlexCoreDetector(system, num_paths=12)
+        channels, received, noise_var = make_workload(system, seed=29)
+        serial_counter, array_counter = FlopCounter(), FlopCounter()
+        BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var, counter=serial_counter,
+            use_soft=True,
+        )
+        BatchedUplinkEngine(detector, backend="array").detect_batch(
+            channels, received, noise_var, counter=array_counter,
+            use_soft=True,
+        )
+        assert counters_equal(serial_counter, array_counter)
+
+    def test_uncached_prepare_counters_match(self):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=8, qr_method="fcsd")
+        channels, received, noise_var = make_workload(system, seed=31)
+        serial_counter, array_counter = FlopCounter(), FlopCounter()
+        BatchedUplinkEngine(detector, cache_contexts=False).detect_batch(
+            channels, received, noise_var, counter=serial_counter
+        )
+        BatchedUplinkEngine(
+            detector, backend="array", cache_contexts=False
+        ).detect_batch(channels, received, noise_var, counter=array_counter)
+        assert counters_equal(serial_counter, array_counter)
+
+    def test_detect_many_routing_matches_naive_loop(self):
+        """``detect_many`` routes through the stacked kernel; results and
+        FLOPs must equal the naive per-channel loop it replaces."""
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=12)
+        channels, received, noise_var = make_workload(system, seed=37)
+        assert detector.has_block_kernel
+        naive_counter = FlopCounter()
+        naive = [
+            detector.detect(
+                channels[c], received[c], noise_var, counter=naive_counter
+            )
+            for c in range(channels.shape[0])
+        ]
+        routed_counter = FlopCounter()
+        routed = detector.detect_many(
+            channels, received, noise_var, counter=routed_counter
+        )
+        assert counters_equal(naive_counter, routed_counter)
+        for ref, got in zip(naive, routed):
+            assert np.array_equal(ref.indices, got.indices)
+            assert ref.metadata == got.metadata
+
+    def test_third_party_detector_uses_documented_fallback(self):
+        system = MimoSystem(3, 4, QamConstellation(16))
+        detector = make_detector("kbest", system, k=8)
+        assert not detector.has_block_kernel
+        channels, received, noise_var = make_workload(system, seed=41)
+        results = detector.detect_many(channels, received, noise_var)
+        for c, result in enumerate(results):
+            reference = detector.detect(channels[c], received[c], noise_var)
+            assert np.array_equal(result.indices, reference.indices)
+
+
+class TestModuleResolution:
+    def test_numpy_is_default(self):
+        assert resolve_array_module(None).name == "numpy"
+        assert make_backend("array").array_module.name == "numpy"
+
+    def test_env_knob_selects_backend_module(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "numpy")
+        assert make_backend("array").array_module.name == "numpy"
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "definitely-not-a-module")
+        with pytest.raises(ConfigurationError, match="unknown array module"):
+            make_backend("array")
+
+    def test_unavailable_module_reports_import(self):
+        if "cupy" in available_array_modules():  # pragma: no cover
+            pytest.skip("cupy importable here")
+        with pytest.raises(ConfigurationError, match="not importable"):
+            resolve_array_module("cupy")
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_array_modules()
+
+    def test_backend_accepts_prebuilt_module(self):
+        backend = ArrayBackend(array_module="numpy")
+        assert make_backend(backend) is backend
+
+
+@pytest.mark.skipif(
+    "torch" not in available_array_modules(),
+    reason="optional torch backend not installed",
+)
+class TestTorchModule:
+    """The same kernel on the torch adapter (exercised by the
+    optional-deps CI job)."""
+
+    def test_hard_detection_matches_numpy(self):
+        system = MimoSystem(4, 4, QamConstellation(16))
+        detector = FlexCoreDetector(system, num_paths=16)
+        channels, received, noise_var = make_workload(system, seed=43)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        engine = BatchedUplinkEngine(
+            detector, backend=ArrayBackend(array_module="torch")
+        )
+        array = engine.detect_batch(channels, received, noise_var)
+        assert array.stats["array_module"] == "torch"
+        assert np.array_equal(array.indices, serial.indices)
+
+    def test_soft_detection_matches_numpy(self):
+        system = MimoSystem(3, 3, QamConstellation(16))
+        detector = SoftFlexCoreDetector(system, num_paths=12)
+        channels, received, noise_var = make_workload(system, seed=47)
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var, use_soft=True
+        )
+        array = BatchedUplinkEngine(
+            detector, backend=ArrayBackend(array_module="torch")
+        ).detect_batch(channels, received, noise_var, use_soft=True)
+        assert np.array_equal(array.indices, serial.indices)
+        np.testing.assert_allclose(array.llrs, serial.llrs, atol=1e-10)
+
+    def test_env_knob_reaches_engine(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "torch")
+        system = MimoSystem(3, 3, QamConstellation(4))
+        detector = FlexCoreDetector(system, num_paths=4)
+        channels, received, noise_var = make_workload(system, seed=59)
+        engine = BatchedUplinkEngine(detector, backend="array")
+        result = engine.detect_batch(channels, received, noise_var)
+        assert result.stats["array_module"] == "torch"
+        serial = BatchedUplinkEngine(detector).detect_batch(
+            channels, received, noise_var
+        )
+        assert np.array_equal(result.indices, serial.indices)
+
+    def test_triangle_lut_matches_numpy(self):
+        from repro.flexcore.ordering import TriangleOrdering
+
+        constellation = QamConstellation(64)
+        ordering = TriangleOrdering(constellation)
+        rng = np.random.default_rng(53)
+        effective = (
+            rng.standard_normal((5, 7, 3))
+            + 1j * rng.standard_normal((5, 7, 3))
+        )
+        ranks = rng.integers(1, 30, size=(5, 7, 3))
+        reference = ordering.kth_symbol_indices(effective, ranks)
+        torch_xp = resolve_array_module("torch")
+        result = torch_xp.to_numpy(
+            ordering.kth_symbol_indices(
+                torch_xp.asarray(effective), torch_xp.asarray(ranks),
+                xp=torch_xp,
+            )
+        )
+        assert np.array_equal(reference, result)
