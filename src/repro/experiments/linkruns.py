@@ -14,6 +14,7 @@ from repro.link.channels import rayleigh_sampler, testbed_sampler
 from repro.link.config import LinkConfig
 from repro.link.simulation import LinkResult, simulate_link
 from repro.mimo.system import MimoSystem
+from repro.runtime.cells import StreamingUplinkEngine
 from repro.runtime.engine import BatchedUplinkEngine
 
 
@@ -65,14 +66,27 @@ def ml_reference_detector(
 
 
 def make_engine(
-    detector: Detector, backend: str = "serial"
-) -> BatchedUplinkEngine:
+    detector: Detector,
+    backend: str = "serial",
+    streaming: bool = False,
+    cells: int = 1,
+):
     """Runtime engine for one experiment detector.
 
     The cache is sized to hold every (subcarrier, SNR-probe) context an
     experiment sweep touches for one detector, so testbed traces that
     cycle their frames across packets hit the cache on every revisit.
+
+    ``streaming=True`` routes every batch through the slot-deadline
+    scheduler sharded across ``cells`` cells
+    (:class:`~repro.runtime.cells.StreamingUplinkEngine`) instead of the
+    direct batch engine; results are bit-identical, only the execution
+    path changes.
     """
+    if streaming:
+        return StreamingUplinkEngine(
+            detector, backend=backend, cells=cells, max_cache_entries=4096
+        )
     return BatchedUplinkEngine(
         detector, backend=backend, max_cache_entries=4096
     )

@@ -74,7 +74,25 @@ def main(argv=None) -> int:
         "(serial | process-pool | array); the array backend honours "
         "REPRO_ARRAY_BACKEND for its array module",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="route detection through the slot-deadline streaming "
+        "scheduler instead of the direct batch engine (experiments that "
+        "take a `streaming` parameter); results are bit-identical",
+    )
+    parser.add_argument(
+        "--cells",
+        type=int,
+        default=None,
+        help="shard streaming detection across N cells with per-cell "
+        "context caches (implies --streaming when > 1)",
+    )
     args = parser.parse_args(argv)
+    if args.cells is not None and args.cells < 1:
+        parser.error("--cells must be >= 1")
+    if args.cells is not None and args.cells > 1:
+        args.streaming = True
 
     if not args.all and not args.experiment:
         parser.error("choose --experiment NAME or --all")
@@ -85,17 +103,22 @@ def main(argv=None) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    requested = {}
+    if args.backend is not None:
+        requested["backend"] = args.backend
+    if args.streaming:
+        requested["streaming"] = True
+        requested["cells"] = args.cells or 1
     for name in names:
         started = time.perf_counter()
         entry = EXPERIMENTS[name]
+        parameters = inspect.signature(entry).parameters
         kwargs = {}
-        if args.backend is not None:
-            if "backend" in inspect.signature(entry).parameters:
-                kwargs["backend"] = args.backend
+        for key, value in requested.items():
+            if key in parameters:
+                kwargs[key] = value
             else:
-                print(
-                    f"[{name}: no backend parameter, running default]",
-                )
+                print(f"[{name}: no {key} parameter, running default]")
         try:
             result = entry(profile, **kwargs)
         except ExperimentError as error:

@@ -2,13 +2,27 @@
 
 from repro.ofdm.params import OfdmParams, WIFI_20MHZ
 from repro.ofdm.modem import OfdmModem
-from repro.ofdm.lte import LTE_MODES, LteMode, lte_mode
+from repro.ofdm.lte import (
+    FRAME_DURATION_S,
+    LTE_MODES,
+    SLOT_DURATION_S,
+    SLOTS_PER_FRAME,
+    SYMBOLS_PER_SLOT,
+    LteMode,
+    lte_mode,
+    slot_deadline,
+)
 
 __all__ = [
+    "FRAME_DURATION_S",
     "LTE_MODES",
     "LteMode",
     "OfdmModem",
     "OfdmParams",
+    "SLOT_DURATION_S",
+    "SLOTS_PER_FRAME",
+    "SYMBOLS_PER_SLOT",
     "WIFI_20MHZ",
     "lte_mode",
+    "slot_deadline",
 ]

@@ -1,9 +1,13 @@
-"""LTE mode table used by the Fig. 12 latency analysis.
+"""LTE mode table used by the Fig. 12 latency analysis and the
+streaming scheduler's deadline model.
 
 The paper states (§5.2): a 10 ms LTE frame holds 20 timeslots of 500 µs,
 and a frame carries ``140 x`` the number of occupied subcarriers of symbol
 vectors — i.e. 7 OFDM symbols per slot.  Detection of one slot's vectors
-must finish within the 500 µs slot duration for the receiver to keep up.
+must finish within the 500 µs slot duration for the receiver to keep up —
+that budget is the flush deadline
+:class:`repro.runtime.scheduler.StreamingScheduler` enforces on every
+micro-batch it assembles.
 """
 
 from __future__ import annotations
@@ -16,6 +20,24 @@ from repro.errors import ConfigurationError
 SYMBOLS_PER_SLOT = 7
 SLOT_DURATION_S = 500e-6
 FRAME_SYMBOLS = 140
+SLOTS_PER_FRAME = 20
+FRAME_DURATION_S = SLOTS_PER_FRAME * SLOT_DURATION_S
+
+
+def slot_deadline(arrival_s: float, budget_s: float = SLOT_DURATION_S) -> float:
+    """Latest completion time for work that arrived at ``arrival_s``.
+
+    The LTE real-time contract (§5.2): every MIMO vector of a slot must
+    be detected within the slot duration, so a vector arriving at ``t``
+    expires at ``t + 500 µs``.  ``budget_s`` lets callers scale the
+    budget (e.g. benchmark calibration on hardware that cannot hit the
+    literal LTE number) while keeping the arithmetic in one place.
+    """
+    if budget_s <= 0.0:
+        raise ConfigurationError(
+            f"slot budget must be positive, got {budget_s}"
+        )
+    return arrival_s + budget_s
 
 
 @dataclass(frozen=True)
@@ -34,6 +56,16 @@ class LteMode:
     def required_vector_rate(self) -> float:
         """Sustained detection rate (vectors/s) to keep up with the air."""
         return self.vectors_per_slot / SLOT_DURATION_S
+
+    @property
+    def vectors_per_frame(self) -> int:
+        """MIMO vectors in one 10 ms LTE frame (``140 x`` subcarriers)."""
+        return self.occupied_subcarriers * FRAME_SYMBOLS
+
+    @property
+    def vector_budget_s(self) -> float:
+        """Mean per-vector detection budget within the slot deadline."""
+        return SLOT_DURATION_S / self.vectors_per_slot
 
     def label(self) -> str:
         if self.bandwidth_mhz == int(self.bandwidth_mhz):

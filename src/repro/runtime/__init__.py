@@ -1,21 +1,31 @@
-"""Batched multi-subcarrier uplink detection runtime.
+"""Batched and streaming multi-subcarrier uplink detection runtime.
 
 The paper's throughput story has two systems ingredients on top of the
 FlexCore algorithm: amortise per-channel pre-processing over the
 coherence time (§4) and spread the embarrassingly-parallel per-subcarrier
 problems across execution resources (§5.2).  This package provides both
-as a detector-agnostic runtime:
+as a detector-agnostic runtime, layered service-side down:
 
+* :class:`DetectionService` — the cell-agnostic prepare+detect block
+  path over one execution backend; detector and cache are per call;
+* :class:`StreamingScheduler` / :class:`MicroBatcher` — the asyncio
+  slot-deadline front-end: :class:`FrameArrival` events are grouped by
+  coherence key and flushed on a batch target or the LTE 500 µs slot
+  deadline, with per-flush latency/deadline telemetry;
+* :class:`Cell` / :class:`CellFarm` / :class:`StreamingUplinkEngine` —
+  multi-cell sharding: N cells share one backend with fair-share
+  dispatch but keep per-cell context caches and stats;
+* :class:`BatchedUplinkEngine` — the synchronous batch adapter the link
+  simulator, the experiment harness and the examples drive;
 * :class:`UplinkBatch` / :class:`BatchDetectionResult` — the
   ``(subcarriers x frames)`` workload and its stacked output;
-* :class:`ContextCache` — content-addressed coherence cache of prepared
-  channel contexts, with a stacked-QR block-prepare path for misses;
+* :class:`ContextCache` / :class:`CacheStats` — content-addressed
+  coherence cache of prepared channel contexts, with a stacked-QR
+  block-prepare path for misses;
 * :class:`SerialBackend` / :class:`ProcessPoolBackend` /
   :class:`ArrayBackend` — pluggable execution backends: per-subcarrier
   loop, sharded worker pool, or one stacked ``(S, F, P, Nt)`` tensor
-  walk on a numpy/cupy/torch array module (``REPRO_ARRAY_BACKEND``);
-* :class:`BatchedUplinkEngine` — the façade the link simulator, the
-  experiment harness and the examples drive.
+  walk on a numpy/cupy/torch array module (``REPRO_ARRAY_BACKEND``).
 """
 
 from repro.runtime.backends import (
@@ -27,8 +37,23 @@ from repro.runtime.backends import (
     make_backend,
 )
 from repro.runtime.batch import BatchDetectionResult, UplinkBatch
-from repro.runtime.cache import ContextCache, context_key
+from repro.runtime.cache import CacheStats, ContextCache, context_key
+from repro.runtime.cells import (
+    Cell,
+    CellFarm,
+    CellStats,
+    StreamingUplinkEngine,
+)
 from repro.runtime.engine import BatchedUplinkEngine
+from repro.runtime.scheduler import (
+    FrameArrival,
+    FrameDetection,
+    FlushRecord,
+    MicroBatcher,
+    SchedulerTelemetry,
+    StreamingScheduler,
+)
+from repro.runtime.service import DetectionService
 from repro.runtime.xp import (
     ARRAY_BACKEND_ENV,
     ArrayModule,
@@ -42,10 +67,22 @@ __all__ = [
     "ArrayModule",
     "BatchDetectionResult",
     "BatchedUplinkEngine",
+    "CacheStats",
+    "Cell",
+    "CellFarm",
+    "CellStats",
     "ContextCache",
+    "DetectionService",
     "ExecutionBackend",
+    "FlushRecord",
+    "FrameArrival",
+    "FrameDetection",
+    "MicroBatcher",
     "ProcessPoolBackend",
+    "SchedulerTelemetry",
     "SerialBackend",
+    "StreamingScheduler",
+    "StreamingUplinkEngine",
     "UplinkBatch",
     "available_array_modules",
     "available_backends",

@@ -164,6 +164,7 @@ def make_backend(spec, **kwargs) -> ExecutionBackend:
         cls = _BACKENDS[spec]
     except (KeyError, TypeError):
         raise ConfigurationError(
-            f"unknown backend {spec!r}; options: {available_backends()}"
+            f"unknown backend {spec!r}; registered backends: "
+            f"{', '.join(available_backends())}"
         ) from None
     return cls(**kwargs)

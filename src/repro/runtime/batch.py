@@ -115,8 +115,13 @@ class BatchDetectionResult:
         The scheme-specific metadata dict each subcarrier's
         ``detect_prepared`` produced, in subcarrier order.
     stats:
-        Engine-level accounting: contexts prepared vs served from cache,
-        backend name, shard count.
+        Runtime accounting: backend name, shard count, and the batch's
+        cache movement under ``stats["cache"]`` — a
+        :class:`~repro.runtime.cache.CacheStats` snapshot (a
+        ``{cell_id: CacheStats}`` mapping when the workload was sharded
+        across a cell farm).  ``stats["cache_hits"]`` and
+        ``stats["contexts_prepared"]`` are deprecated aliases of the
+        snapshot's ``hits``/``misses``, kept for one release.
     """
 
     indices: np.ndarray

@@ -14,12 +14,62 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time snapshot of a :class:`ContextCache`.
+
+    ``hits``/``misses``/``evictions`` are counters (lifetime, or a batch
+    delta when the snapshot came from
+    :meth:`ContextCache.stats.since <CacheStats.since>`); ``entries`` is
+    the resident context count at snapshot time.  The runtime surfaces
+    one of these per batch in
+    :attr:`repro.runtime.batch.BatchDetectionResult.stats` under the
+    ``"cache"`` key — one per cell when the workload is sharded across a
+    cell farm.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    def __getitem__(self, key: str):
+        # Mapping-style access keeps pre-snapshot call sites
+        # (``stats["entries"]``) working while they migrate to
+        # attributes.
+        if key in ("hits", "misses", "evictions", "entries"):
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+        }
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier snapshot.
+
+        ``entries`` is not a counter, so the newer snapshot's value is
+        kept as-is.
+        """
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            evictions=self.evictions - before.evictions,
+            entries=self.entries,
+        )
 
 
 def context_key(channel: np.ndarray, noise_var: float) -> bytes:
@@ -155,10 +205,11 @@ class ContextCache:
         self._entries.clear()
 
     @property
-    def stats(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-        }
+    def stats(self) -> CacheStats:
+        """Lifetime counters plus current occupancy as a snapshot."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._entries),
+        )

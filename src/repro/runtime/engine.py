@@ -1,4 +1,4 @@
-"""The batched uplink detection engine.
+"""The batched uplink detection engine — a thin batch adapter.
 
 :class:`BatchedUplinkEngine` drives any registered detector over whole
 ``(subcarriers x frames)`` uplink batches instead of one received vector
@@ -14,12 +14,16 @@ throughput argument on:
   ``serial``, a ``process-pool`` sharding subcarrier ranges the way the
   paper spreads them across CUDA streams and devices, or ``array``,
   which stacks every subcarrier of equal path count into one
-  ``(S, F, P, Nt)`` tensor walk on a pluggable array module
-  (numpy/cupy/torch — the paper's massively-parallel execution model).
+  ``(S, F, P, Nt)`` tensor walk on a pluggable array module.
 
-The engine is detector-agnostic: anything satisfying the
-:class:`~repro.detectors.base.Detector` contract (hard output) works, and
-detectors exposing ``detect_soft_prepared`` gain batched LLR output.
+Since the service extraction, the heavy lifting — context preparation,
+backend dispatch, the stacked tensor walk, shard bookkeeping — lives in
+the cell-agnostic :class:`~repro.runtime.service.DetectionService`.
+The engine binds one detector and one private
+:class:`~repro.runtime.cache.ContextCache` to a service and exposes the
+synchronous batch API the link simulator and the experiment harness
+drive.  The streaming front-ends (:mod:`repro.runtime.scheduler`,
+:mod:`repro.runtime.cells`) sit on the same service.
 """
 
 from __future__ import annotations
@@ -27,96 +31,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import Detector
-from repro.errors import ConfigurationError, LinkSimulationError
-from repro.runtime.backends import (
-    ArrayBackend,
-    ExecutionBackend,
-    SerialBackend,
-    make_backend,
-)
+from repro.errors import ConfigurationError
+from repro.runtime.backends import ExecutionBackend
 from repro.runtime.batch import BatchDetectionResult, UplinkBatch
-from repro.runtime.cache import ContextCache
+from repro.runtime.cache import CacheStats, ContextCache
+from repro.runtime.service import (  # noqa: F401  (re-exported for compat)
+    DetectionService,
+    _detect_block,
+    _run_shard,
+)
 from repro.utils.flops import NULL_COUNTER, FlopCounter
-
-
-def _detect_block(
-    detector,
-    channels: np.ndarray,
-    received: np.ndarray,
-    noise_var: float,
-    contexts: "list | None",
-    counter: FlopCounter,
-    use_soft: bool,
-) -> tuple[np.ndarray, np.ndarray | None, list]:
-    """Detect a ``(s, F, Nr)`` block, one context per subcarrier.
-
-    ``contexts`` supplies pre-prepared channel contexts (the cached
-    path); ``None`` means prepare inline, once per subcarrier with no
-    deduplication — the honest uncached baseline.
-    """
-    num_sc, num_frames, _ = received.shape
-    num_streams = detector.system.num_streams
-    indices = np.empty((num_sc, num_frames, num_streams), dtype=np.int64)
-    llrs = None
-    if use_soft:
-        width = num_streams * detector.system.constellation.bits_per_symbol
-        llrs = np.empty((num_sc, num_frames, width))
-    metadata = []
-    for sc in range(num_sc):
-        if contexts is None:
-            context = detector.prepare(
-                channels[sc], noise_var, counter=counter
-            )
-        else:
-            context = contexts[sc]
-        if use_soft:
-            result = detector.detect_soft_prepared(
-                context, received[sc], noise_var, counter=counter
-            )
-            llrs[sc] = result.llrs
-        else:
-            result = detector.detect_prepared(
-                context, received[sc], counter=counter
-            )
-        indices[sc] = result.indices
-        metadata.append(result.metadata)
-    return indices, llrs, metadata
-
-
-def _run_shard(payload) -> tuple:
-    """Process-pool entry point: detect one shard.
-
-    On the cached path the parent has already prepared the shard's
-    contexts through its persistent cache and ships them in the payload
-    (contexts are plain numpy dataclasses, cheap to pickle), so workers
-    only detect.  With caching disabled the worker runs ``prepare`` per
-    subcarrier itself.  FLOP totals travel back as plain ints for the
-    parent to merge.
-    """
-    (
-        detector,
-        channels,
-        received,
-        noise_var,
-        use_soft,
-        count_flops,
-        contexts,
-    ) = payload
-    counter = FlopCounter() if count_flops else NULL_COUNTER
-    indices, llrs, metadata = _detect_block(
-        detector, channels, received, noise_var, contexts, counter, use_soft
-    )
-    flops = (
-        (
-            counter.real_mults,
-            counter.real_adds,
-            counter.comparisons,
-            counter.nodes_visited,
-        )
-        if count_flops
-        else (0, 0, 0, 0)
-    )
-    return indices, llrs, metadata, flops
 
 
 class BatchedUplinkEngine:
@@ -132,8 +56,9 @@ class BatchedUplinkEngine:
         ``"serial"`` (default), ``"process-pool"``, ``"array"`` (stacked
         tensor walk; array module from ``REPRO_ARRAY_BACKEND`` unless an
         :class:`~repro.runtime.backends.ArrayBackend` is pre-built with
-        one), or any pre-built
-        :class:`~repro.runtime.backends.ExecutionBackend`.
+        one), any pre-built
+        :class:`~repro.runtime.backends.ExecutionBackend`, or a shared
+        :class:`~repro.runtime.service.DetectionService`.
     cache_contexts:
         Enable the coherence context cache.  Disabling forces one
         ``prepare`` per subcarrier per call — the naive baseline the
@@ -145,7 +70,7 @@ class BatchedUplinkEngine:
     def __init__(
         self,
         detector: Detector,
-        backend: "str | ExecutionBackend" = "serial",
+        backend: "str | ExecutionBackend | DetectionService" = "serial",
         cache_contexts: bool = True,
         max_cache_entries: int = 1024,
     ):
@@ -155,19 +80,29 @@ class BatchedUplinkEngine:
                 f"{type(detector).__name__}"
             )
         self.detector = detector
-        self.backend = make_backend(backend)
+        if isinstance(backend, DetectionService):
+            self.service = backend
+            self._owns_service = False
+        else:
+            self.service = DetectionService(backend)
+            self._owns_service = True
         self.cache_contexts = bool(cache_contexts)
         self._cache = ContextCache(max_entries=max_cache_entries)
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend the bound service runs on."""
+        return self.service.backend
+
     @property
     def supports_soft(self) -> bool:
         """Whether the wrapped detector produces per-bit LLRs."""
         return hasattr(self.detector, "detect_soft_prepared")
 
     @property
-    def cache_stats(self) -> dict:
-        """Lifetime hit/miss/eviction counts of the context cache."""
+    def cache_stats(self) -> CacheStats:
+        """Lifetime hit/miss/eviction snapshot of the context cache."""
         return self._cache.stats
 
     def clear_cache(self) -> None:
@@ -175,7 +110,9 @@ class BatchedUplinkEngine:
         self._cache.clear()
 
     def close(self) -> None:
-        self.backend.close()
+        """Release backend resources, unless the service is shared."""
+        if self._owns_service:
+            self.service.close()
 
     def __enter__(self) -> "BatchedUplinkEngine":
         return self
@@ -204,16 +141,13 @@ class BatchedUplinkEngine:
             batch = UplinkBatch(
                 channels=channels, received=received, noise_var=noise_var
             )
-        self._check_batch(batch)
-        if use_soft and not self.supports_soft:
-            raise LinkSimulationError(
-                f"{self.detector.name} does not produce soft output"
-            )
-        if isinstance(self.backend, ArrayBackend):
-            return self._detect_array(batch, counter, use_soft)
-        if isinstance(self.backend, SerialBackend):
-            return self._detect_serial(batch, counter, use_soft)
-        return self._detect_sharded(batch, counter, use_soft)
+        return self.service.detect(
+            self.detector,
+            batch,
+            cache=self._cache if self.cache_contexts else None,
+            counter=counter,
+            use_soft=use_soft,
+        )
 
     def detect(
         self,
@@ -233,213 +167,3 @@ class BatchedUplinkEngine:
                 channel, noise_var, counter=counter
             )
         return self.detector.detect_prepared(context, received, counter=counter)
-
-    # ------------------------------------------------------------------
-    def _check_batch(self, batch: UplinkBatch) -> None:
-        system = self.detector.system
-        if (
-            batch.num_rx_antennas != system.num_rx_antennas
-            or batch.num_streams != system.num_streams
-        ):
-            raise ConfigurationError(
-                f"batch is {batch.num_rx_antennas}x{batch.num_streams}, "
-                f"detector expects {system.num_rx_antennas}x"
-                f"{system.num_streams}"
-            )
-
-    def _prepare_contexts(
-        self, batch: UplinkBatch, counter: FlopCounter
-    ) -> "tuple[list | None, int, int]":
-        """Contexts for every subcarrier via the persistent cache.
-
-        Returns ``(contexts, cache_hits, contexts_prepared)``;
-        ``contexts`` is ``None`` when caching is disabled, in which case
-        detection prepares inline (one un-deduplicated ``prepare`` per
-        subcarrier — the naive baseline the benchmark measures against).
-        """
-        if not self.cache_contexts:
-            return None, 0, batch.num_subcarriers
-        hits_before, misses_before = self._cache.hits, self._cache.misses
-        contexts = [
-            self._cache.get_or_prepare(
-                self.detector, batch.channels[sc], batch.noise_var,
-                counter=counter,
-            )
-            for sc in range(batch.num_subcarriers)
-        ]
-        return (
-            contexts,
-            self._cache.hits - hits_before,
-            self._cache.misses - misses_before,
-        )
-
-    def _prepare_contexts_block(
-        self, batch: UplinkBatch, counter: FlopCounter
-    ) -> "tuple[list, int, int]":
-        """Block analogue of :meth:`_prepare_contexts`.
-
-        Cache misses for the whole coherence block are prepared in one
-        ``prepare_many`` call (the stacked-QR path); with caching
-        disabled every subcarrier is prepared, un-deduplicated, in one
-        stacked call — the same work the serial baseline does one
-        channel at a time.
-        """
-        if not self.cache_contexts:
-            contexts = self.detector.prepare_many(
-                batch.channels, batch.noise_var, counter=counter
-            )
-            return contexts, 0, batch.num_subcarriers
-        hits_before, misses_before = self._cache.hits, self._cache.misses
-        contexts = self._cache.get_or_prepare_block(
-            self.detector, batch.channels, batch.noise_var, counter=counter
-        )
-        return (
-            contexts,
-            self._cache.hits - hits_before,
-            self._cache.misses - misses_before,
-        )
-
-    def _detect_array(
-        self, batch: UplinkBatch, counter: FlopCounter, use_soft: bool
-    ) -> BatchDetectionResult:
-        """Stacked tensor-walk path: the whole block in a few array ops.
-
-        Detectors without a block kernel (or without a soft one when
-        ``use_soft``) run the per-subcarrier loop on the backend's
-        thread instead — selecting ``backend="array"`` is always safe.
-        """
-        xp = self.backend.array_module
-        detector = self.detector
-        contexts, cache_hits, prepared = self._prepare_contexts_block(
-            batch, counter
-        )
-        stacked = detector.has_block_kernel and (
-            not use_soft
-            or callable(getattr(detector, "detect_soft_block_prepared", None))
-        )
-        llrs = None
-        if not stacked:
-            indices, llrs, metadata = _detect_block(
-                detector,
-                batch.channels,
-                batch.received,
-                batch.noise_var,
-                contexts,
-                counter,
-                use_soft,
-            )
-        elif use_soft:
-            indices, llrs, metadata = detector.detect_soft_block_prepared(
-                contexts,
-                batch.received,
-                batch.noise_var,
-                counter=counter,
-                xp=xp,
-            )
-        else:
-            indices, metadata = detector.detect_block_prepared(
-                contexts, batch.received, counter=counter, xp=xp
-            )
-        path_groups = len(
-            {getattr(context, "active_paths", 0) for context in contexts}
-        )
-        return BatchDetectionResult(
-            indices=indices,
-            llrs=llrs,
-            per_subcarrier_metadata=metadata,
-            stats={
-                "backend": self.backend.name,
-                "array_module": xp.name,
-                "stacked": stacked,
-                "path_groups": path_groups,
-                "shards": 1,
-                "subcarriers": batch.num_subcarriers,
-                "frames": batch.num_frames,
-                "cache_hits": cache_hits,
-                "contexts_prepared": prepared,
-            },
-        )
-
-    def _detect_serial(
-        self, batch: UplinkBatch, counter: FlopCounter, use_soft: bool
-    ) -> BatchDetectionResult:
-        contexts, cache_hits, prepared = self._prepare_contexts(
-            batch, counter
-        )
-        indices, llrs, metadata = _detect_block(
-            self.detector,
-            batch.channels,
-            batch.received,
-            batch.noise_var,
-            contexts,
-            counter,
-            use_soft,
-        )
-        return BatchDetectionResult(
-            indices=indices,
-            llrs=llrs,
-            per_subcarrier_metadata=metadata,
-            stats={
-                "backend": self.backend.name,
-                "shards": 1,
-                "subcarriers": batch.num_subcarriers,
-                "frames": batch.num_frames,
-                "cache_hits": cache_hits,
-                "contexts_prepared": prepared,
-            },
-        )
-
-    def _detect_sharded(
-        self, batch: UplinkBatch, counter: FlopCounter, use_soft: bool
-    ) -> BatchDetectionResult:
-        # Contexts are prepared in the parent through the persistent
-        # cache (so cross-call coherence amortisation survives the pool)
-        # and shipped with each shard; workers only detect.
-        contexts, cache_hits, prepared = self._prepare_contexts(
-            batch, counter
-        )
-        shards = batch.shard(self.backend.num_shards_hint)
-        count_flops = counter is not NULL_COUNTER
-        payloads = []
-        start = 0
-        for shard in shards:
-            stop = start + shard.num_subcarriers
-            payloads.append(
-                (
-                    self.detector,
-                    shard.channels,
-                    shard.received,
-                    shard.noise_var,
-                    use_soft,
-                    count_flops,
-                    contexts[start:stop] if contexts is not None else None,
-                )
-            )
-            start = stop
-        results = self.backend.run(_run_shard, payloads)
-        indices = np.concatenate([r[0] for r in results], axis=0)
-        llrs = (
-            np.concatenate([r[1] for r in results], axis=0)
-            if use_soft
-            else None
-        )
-        metadata = [m for r in results for m in r[2]]
-        for r in results:
-            mults, adds, comparisons, nodes = r[3]
-            counter.add_real_mults(mults)
-            counter.add_real_adds(adds)
-            counter.add_comparisons(comparisons)
-            counter.add_nodes(nodes)
-        return BatchDetectionResult(
-            indices=indices,
-            llrs=llrs,
-            per_subcarrier_metadata=metadata,
-            stats={
-                "backend": self.backend.name,
-                "shards": len(shards),
-                "subcarriers": batch.num_subcarriers,
-                "frames": batch.num_frames,
-                "cache_hits": cache_hits,
-                "contexts_prepared": prepared,
-            },
-        )

@@ -1,0 +1,676 @@
+"""Streaming slot-deadline scheduler for the detection runtime.
+
+FlexCore's throughput argument (§5.2) is framed against the LTE
+real-time budget: every MIMO vector of a slot must be detected within
+the 500 µs slot duration.  The batch engine assumes somebody already
+assembled a full ``(subcarriers x frames)`` block; this module is that
+somebody — an asyncio loop that ingests :class:`FrameArrival` events as
+the radio produces them, groups them by *coherence key* (channel
+content, noise level, cell), and flushes each assembled micro-batch
+through the shared :class:`~repro.runtime.service.DetectionService`
+either when a **batch target** is met or when the
+:mod:`repro.ofdm.lte` **slot deadline** expires — whichever comes
+first.  Per-flush latency and deadline-hit telemetry is recorded so an
+operator can see how close the deployment runs to the real-time edge.
+
+Two layers, deliberately separated:
+
+* :class:`MicroBatcher` — pure, clock-free flush bookkeeping (group
+  assembly, deadlines, target checks).  Being free of asyncio makes the
+  deadline arithmetic property-testable: flush decisions can be driven
+  with simulated timestamps.
+* :class:`StreamingScheduler` — the asyncio driver: an arrival queue,
+  a deadline-armed wait, fair-share dispatch across registered cells,
+  and per-arrival futures resolving to :class:`FrameDetection`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ofdm.lte import SLOT_DURATION_S, SYMBOLS_PER_SLOT, slot_deadline
+from repro.runtime.batch import UplinkBatch
+from repro.runtime.cache import context_key
+from repro.runtime.service import DetectionService
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+DEFAULT_CELL = "cell0"
+
+#: Flush reasons recorded in telemetry.
+FLUSH_TARGET = "target"
+FLUSH_DEADLINE = "deadline"
+FLUSH_DRAIN = "drain"
+
+
+@dataclass
+class FrameArrival:
+    """One streamed unit of uplink work: frames for a single subcarrier.
+
+    Attributes
+    ----------
+    channel:
+        ``(Nr, Nt)`` channel matrix the frames were received through.
+    received:
+        ``(Nr,)`` one received vector, or ``(F, Nr)`` a burst of them
+        (e.g. the 7 symbols of one LTE slot arriving together).
+    noise_var:
+        Per-antenna noise variance.
+    cell:
+        Which registered cell this arrival belongs to.
+    arrival_s:
+        Monotonic-clock arrival timestamp; stamped by the scheduler on
+        ``submit`` when ``None``.
+    """
+
+    channel: np.ndarray
+    received: np.ndarray
+    noise_var: float
+    cell: str = DEFAULT_CELL
+    arrival_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        channel = np.asarray(self.channel)
+        received = np.asarray(self.received)
+        if channel.ndim != 2:
+            raise ConfigurationError(
+                f"arrival channel must be (Nr, Nt), got {channel.shape}"
+            )
+        if received.ndim == 1:
+            received = received[None, :]
+        if received.ndim != 2 or received.shape[1] != channel.shape[0]:
+            raise ConfigurationError(
+                f"arrival received must be (F, {channel.shape[0]}), got "
+                f"{np.asarray(self.received).shape}"
+            )
+        self.channel = channel
+        self.received = received
+        self.noise_var = float(self.noise_var)
+
+    @property
+    def num_frames(self) -> int:
+        return self.received.shape[0]
+
+
+@dataclass(frozen=True)
+class FlushRecord:
+    """Telemetry for one dispatched micro-batch (one service call)."""
+
+    cell: str
+    reason: str
+    subcarriers: int
+    frames: int
+    first_arrival_s: float
+    flushed_s: float
+    completed_s: float
+    deadline_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Oldest-arrival-to-completion latency of the flush."""
+        return self.completed_s - self.first_arrival_s
+
+    @property
+    def deadline_met(self) -> bool:
+        """Whether every group in the flush beat its slot deadline.
+
+        ``deadline_s`` is the *earliest* deadline across the flushed
+        groups, so meeting it means every group met its own.
+        """
+        return self.completed_s <= self.deadline_s
+
+
+@dataclass
+class FrameDetection:
+    """What a submitted arrival's future resolves to."""
+
+    indices: np.ndarray
+    llrs: "np.ndarray | None"
+    metadata: dict
+    flush: FlushRecord
+
+
+@dataclass
+class SchedulerTelemetry:
+    """Streaming counters: frames, flushes, deadline hits, latencies."""
+
+    frames_submitted: int = 0
+    frames_detected: int = 0
+    frames_on_time: int = 0
+    frames_late: int = 0
+    flushes: int = 0
+    groups_flushed: int = 0
+    flush_reasons: dict = field(default_factory=dict)
+    records: list = field(default_factory=list)
+    max_records: int = 4096
+    records_dropped: int = 0
+
+    def record(
+        self,
+        record: FlushRecord,
+        groups: int,
+        frames_on_time: "int | None" = None,
+    ) -> None:
+        """Account one flush.
+
+        ``frames_on_time`` is the per-group deadline accounting (a group
+        counts as on time when the flush completed before *that group's*
+        deadline); when omitted the record's conservative earliest-
+        deadline verdict covers every frame.
+        """
+        self.flushes += 1
+        self.groups_flushed += groups
+        self.frames_detected += record.frames
+        if frames_on_time is None:
+            frames_on_time = record.frames if record.deadline_met else 0
+        self.frames_on_time += frames_on_time
+        self.frames_late += record.frames - frames_on_time
+        self.flush_reasons[record.reason] = (
+            self.flush_reasons.get(record.reason, 0) + 1
+        )
+        if len(self.records) < self.max_records:
+            self.records.append(record)
+        else:
+            self.records_dropped += 1
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of detected frames whose flush beat its deadline."""
+        total = self.frames_on_time + self.frames_late
+        return self.frames_on_time / total if total else 1.0
+
+    @property
+    def max_latency_s(self) -> float:
+        return max((r.latency_s for r in self.records), default=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "frames_submitted": self.frames_submitted,
+            "frames_detected": self.frames_detected,
+            "frames_on_time": self.frames_on_time,
+            "frames_late": self.frames_late,
+            "flushes": self.flushes,
+            "groups_flushed": self.groups_flushed,
+            "flush_reasons": dict(self.flush_reasons),
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "max_latency_s": self.max_latency_s,
+            "records_dropped": self.records_dropped,
+        }
+
+
+@dataclass
+class _Group:
+    """Pending frames sharing one coherence key (channel, noise, cell)."""
+
+    cell: str
+    key: bytes
+    channel: np.ndarray
+    noise_var: float
+    first_arrival_s: float
+    deadline_s: float
+    arrivals: list = field(default_factory=list)
+    frames: int = 0
+    reason: str = FLUSH_TARGET
+
+    def add(self, arrival: FrameArrival, future) -> None:
+        self.arrivals.append((arrival, future))
+        self.frames += arrival.num_frames
+
+    def stacked_received(self) -> np.ndarray:
+        return np.concatenate([a.received for a, _ in self.arrivals], axis=0)
+
+
+class MicroBatcher:
+    """Clock-free micro-batch assembly with slot-deadline bookkeeping.
+
+    The flush contract (property-tested in
+    ``tests/runtime/test_scheduler.py``): a group created at time ``t``
+    must be flushed no later than ``slot_deadline(t, slot_budget_s)``
+    plus one event-loop tick — either because its frame count reached
+    ``batch_target`` earlier, or because the driver's deadline wait
+    expired.
+
+    Parameters
+    ----------
+    batch_target:
+        Frames per coherence group that trigger an immediate flush.
+        Defaults to :data:`repro.ofdm.lte.SYMBOLS_PER_SLOT` — one LTE
+        slot's worth of symbol vectors per subcarrier.
+    slot_budget_s:
+        Deadline budget measured from a group's first arrival.
+        Defaults to the LTE 500 µs slot; ``math.inf`` disables deadline
+        flushes (drain-driven operation, e.g. offline batch replay).
+    flush_margin_s:
+        How much *before* the deadline an under-target group is flushed.
+        A flush fired exactly at the deadline necessarily completes
+        after it — a guaranteed miss — so real-time deployments set this
+        to their expected straggler service time, trading batch width
+        for completion headroom.  The deadline-hit accounting always
+        measures against the true deadline, never the armed one.
+    """
+
+    def __init__(
+        self,
+        batch_target: int = SYMBOLS_PER_SLOT,
+        slot_budget_s: float = SLOT_DURATION_S,
+        flush_margin_s: float = 0.0,
+    ):
+        if batch_target < 1:
+            raise ConfigurationError("batch_target must be >= 1")
+        if not slot_budget_s > 0.0:
+            raise ConfigurationError(
+                f"slot budget must be positive, got {slot_budget_s}"
+            )
+        if flush_margin_s < 0.0:
+            raise ConfigurationError("flush_margin_s must be >= 0")
+        self.batch_target = int(batch_target)
+        self.slot_budget_s = float(slot_budget_s)
+        self.flush_margin_s = float(flush_margin_s)
+        self._groups: "OrderedDict[tuple, _Group]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def pending_frames(self) -> int:
+        return sum(group.frames for group in self._groups.values())
+
+    # ------------------------------------------------------------------
+    def add(
+        self, arrival: FrameArrival, future, now: float
+    ) -> "_Group | None":
+        """Account one arrival; return its group if the target is met."""
+        when = arrival.arrival_s if arrival.arrival_s is not None else now
+        key = (arrival.cell, context_key(arrival.channel, arrival.noise_var))
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(
+                cell=arrival.cell,
+                key=key[1],
+                channel=arrival.channel,
+                noise_var=arrival.noise_var,
+                first_arrival_s=when,
+                deadline_s=slot_deadline(when, self.slot_budget_s)
+                if math.isfinite(self.slot_budget_s)
+                else math.inf,
+            )
+            self._groups[key] = group
+        group.add(arrival, future)
+        if group.frames >= self.batch_target:
+            del self._groups[key]
+            group.reason = FLUSH_TARGET
+            return group
+        return None
+
+    def next_deadline(self) -> "float | None":
+        """Earliest pending *armed* deadline (margin already applied),
+        or ``None`` when nothing waits."""
+        if not self._groups:
+            return None
+        return (
+            min(group.deadline_s for group in self._groups.values())
+            - self.flush_margin_s
+        )
+
+    def pop_expired(self, now: float) -> list:
+        """Remove and return every group whose armed deadline passed."""
+        expired = []
+        for key, group in list(self._groups.items()):
+            if group.deadline_s - self.flush_margin_s <= now:
+                del self._groups[key]
+                group.reason = FLUSH_DEADLINE
+                expired.append(group)
+        return expired
+
+    def drain(self) -> list:
+        """Remove and return everything pending (explicit flush/stop)."""
+        drained = list(self._groups.values())
+        for group in drained:
+            group.reason = FLUSH_DRAIN
+        self._groups.clear()
+        return drained
+
+
+class StreamingScheduler:
+    """Asyncio front-end: arrivals in, deadline-bounded flushes out.
+
+    Parameters
+    ----------
+    cells:
+        The cells this scheduler serves: a single
+        :class:`~repro.runtime.cells.Cell`, an iterable of them, or a
+        ``{cell_id: Cell}`` mapping.  A bare detector is also accepted
+        and wrapped in a default single cell.
+    service:
+        A shared :class:`~repro.runtime.service.DetectionService`; when
+        ``None`` a private one is built from ``backend`` and closed with
+        the scheduler.
+    batch_target / slot_budget_s:
+        Flush policy, see :class:`MicroBatcher`.
+    use_soft:
+        Detect every flush softly (cells' detectors must support it).
+    counter:
+        FLOP counter charged by every flush.
+    clock:
+        Monotonic time source; injectable for tests.
+
+    Usage::
+
+        async with StreamingScheduler(cells, service=svc) as sched:
+            fut = await sched.submit(FrameArrival(h, y, noise_var))
+            ...
+            await sched.flush()          # force-dispatch stragglers
+            detection = await fut
+    """
+
+    def __init__(
+        self,
+        cells,
+        service: "DetectionService | None" = None,
+        backend: str = "serial",
+        batch_target: int = SYMBOLS_PER_SLOT,
+        slot_budget_s: float = SLOT_DURATION_S,
+        flush_margin_s: float = 0.0,
+        use_soft: bool = False,
+        counter: FlopCounter = NULL_COUNTER,
+        clock=time.monotonic,
+    ):
+        self.cells = self._normalise_cells(cells)
+        if service is None:
+            self.service = DetectionService(backend)
+            self._owns_service = True
+        else:
+            self.service = service
+            self._owns_service = False
+        self.batcher = MicroBatcher(
+            batch_target=batch_target,
+            slot_budget_s=slot_budget_s,
+            flush_margin_s=flush_margin_s,
+        )
+        self.use_soft = bool(use_soft)
+        self.counter = counter
+        self.clock = clock
+        self.telemetry = SchedulerTelemetry()
+        self._queue: "asyncio.Queue | None" = None
+        self._task: "asyncio.Task | None" = None
+        self._rr_offset = 0
+
+    @staticmethod
+    def _normalise_cells(cells) -> dict:
+        from repro.runtime.cells import Cell  # local: avoid import cycle
+        from repro.detectors.base import Detector
+
+        if isinstance(cells, Detector):
+            cells = [Cell(DEFAULT_CELL, cells)]
+        elif isinstance(cells, Cell):
+            cells = [cells]
+        if isinstance(cells, dict):
+            cells = list(cells.values())
+        registry = {}
+        for cell in cells:
+            if cell.cell_id in registry:
+                raise ConfigurationError(
+                    f"duplicate cell id {cell.cell_id!r}"
+                )
+            registry[cell.cell_id] = cell
+        if not registry:
+            raise ConfigurationError(
+                "StreamingScheduler needs at least one cell"
+            )
+        return registry
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "StreamingScheduler":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        if self._task is not None:
+            raise ConfigurationError("scheduler already running")
+        self._queue = asyncio.Queue()
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain everything pending, then stop the loop."""
+        if self._task is None:
+            return
+        await self._control("stop")
+        await self._task
+        self._task = None
+        self._queue = None
+        if self._owns_service:
+            self.service.close()
+
+    async def flush(self) -> None:
+        """Force-dispatch every pending group and wait for completion."""
+        await self._control("flush")
+
+    async def _control(self, kind: str) -> None:
+        if self._queue is None:
+            raise ConfigurationError(
+                "scheduler is not running (use `async with` or start())"
+            )
+        done = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait((kind, done))
+        if self._task is None:
+            await done
+            return
+        # Also watch the loop task: if it died (a non-Exception error
+        # escaping a flush, say KeyboardInterrupt), surface that instead
+        # of awaiting a control acknowledgement that will never come.
+        await asyncio.wait(
+            {done, self._task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if done.done():
+            return
+        self._task.result()  # re-raises the loop's exception
+        raise ConfigurationError(
+            "scheduler loop exited before handling the control message"
+        )
+
+    # ------------------------------------------------------------------
+    async def submit(self, arrival: FrameArrival) -> asyncio.Future:
+        """Enqueue one arrival; returns a future of :class:`FrameDetection`."""
+        if self._queue is None:
+            raise ConfigurationError(
+                "scheduler is not running (use `async with` or start())"
+            )
+        cell = self.cells.get(arrival.cell)
+        if cell is None:
+            raise ConfigurationError(
+                f"unknown cell {arrival.cell!r}; registered: "
+                f"{', '.join(sorted(self.cells))}"
+            )
+        system = cell.detector.system
+        if arrival.channel.shape != (
+            system.num_rx_antennas,
+            system.num_streams,
+        ):
+            raise ConfigurationError(
+                f"cell {arrival.cell!r} expects "
+                f"({system.num_rx_antennas}, {system.num_streams}) "
+                f"channels, got {arrival.channel.shape}"
+            )
+        if arrival.arrival_s is None:
+            arrival.arrival_s = self.clock()
+        future = asyncio.get_running_loop().create_future()
+        self.telemetry.frames_submitted += arrival.num_frames
+        self._queue.put_nowait(("arrival", (arrival, future)))
+        return future
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        clean = False
+        try:
+            await self._serve()
+            clean = True
+        finally:
+            self._fail_stragglers(clean)
+
+    def _fail_stragglers(self, clean: bool) -> None:
+        """Resolve anything still pending when the loop exits.
+
+        On a clean stop the batcher was drained and the queue emptied,
+        so this is (nearly) a no-op; if the loop died abnormally — a
+        non-Exception error such as KeyboardInterrupt escaping a flush —
+        it keeps consumers from awaiting forever.
+        """
+        error = ConfigurationError("scheduler loop terminated")
+        for group in self.batcher.drain():
+            for _, future in group.arrivals:
+                if not future.done():
+                    future.set_exception(error)
+        while True:
+            try:
+                kind, payload = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if kind == "arrival":
+                _, future = payload
+                if not future.done():
+                    future.set_exception(error)
+            elif not payload.done():
+                if clean:
+                    payload.set_result(None)
+                else:
+                    payload.set_exception(error)
+
+    async def _serve(self) -> None:
+        queue = self._queue
+        stopping = False
+        while not stopping:
+            deadline = self.batcher.next_deadline()
+            item = None
+            if deadline is None or math.isinf(deadline):
+                item = await queue.get()
+            else:
+                timeout = max(0.0, deadline - self.clock())
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    item = None
+            # Drain whatever else is immediately available so bursts
+            # coalesce into wide flushes instead of S=1 dribbles.
+            items = [] if item is None else [item]
+            while True:
+                try:
+                    items.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            ready = []
+            controls = []
+            for kind, payload in items:
+                if kind == "arrival":
+                    arrival, future = payload
+                    group = self.batcher.add(arrival, future, self.clock())
+                    if group is not None:
+                        ready.append(group)
+                else:
+                    controls.append((kind, payload))
+                    if kind == "stop":
+                        stopping = True
+            ready.extend(self.batcher.pop_expired(self.clock()))
+            if controls:
+                ready.extend(self.batcher.drain())
+            self._dispatch(ready)
+            for _, done in controls:
+                if not done.done():
+                    done.set_result(None)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, groups: list) -> None:
+        """Flush ready groups, fair-share interleaved across cells.
+
+        Groups are bucketed per cell, cells are served in round-robin
+        order starting from a rotating offset (so a chronically busy
+        cell cannot push its neighbours' flushes to the back of every
+        cycle), and each cell's groups of equal frame count are
+        coalesced into one multi-subcarrier service call.
+        """
+        if not groups:
+            return
+        by_cell: "OrderedDict[str, list]" = OrderedDict()
+        for group in groups:
+            by_cell.setdefault(group.cell, []).append(group)
+        order = sorted(by_cell)
+        offset = self._rr_offset % len(order)
+        self._rr_offset += 1
+        for cell_id in order[offset:] + order[:offset]:
+            self._dispatch_cell(self.cells[cell_id], by_cell[cell_id])
+
+    def _dispatch_cell(self, cell, groups: list) -> None:
+        # Coalesce: equal (noise_var, frame-count, reason) groups stack
+        # into one (S, F, Nr) batch — one backend call instead of S.
+        buckets: "OrderedDict[tuple, list]" = OrderedDict()
+        for group in groups:
+            buckets.setdefault(
+                (group.noise_var, group.frames, group.reason), []
+            ).append(group)
+        for (noise_var, _frames, _reason), bucket in buckets.items():
+            batch = UplinkBatch(
+                channels=np.stack([g.channel for g in bucket]),
+                received=np.stack([g.stacked_received() for g in bucket]),
+                noise_var=noise_var,
+            )
+            flushed_s = self.clock()
+            try:
+                result = self.service.detect(
+                    cell.detector,
+                    batch,
+                    cache=cell.cache,
+                    counter=self.counter,
+                    use_soft=self.use_soft,
+                )
+            except Exception as error:  # resolve futures, keep serving
+                for group in bucket:
+                    for _, future in group.arrivals:
+                        if not future.done():
+                            future.set_exception(error)
+                continue
+            completed_s = self.clock()
+            record = FlushRecord(
+                cell=cell.cell_id,
+                reason=bucket[0].reason,
+                subcarriers=len(bucket),
+                frames=sum(g.frames for g in bucket),
+                first_arrival_s=min(g.first_arrival_s for g in bucket),
+                flushed_s=flushed_s,
+                completed_s=completed_s,
+                deadline_s=min(g.deadline_s for g in bucket),
+            )
+            frames_on_time = sum(
+                g.frames for g in bucket if completed_s <= g.deadline_s
+            )
+            self.telemetry.record(
+                record, groups=len(bucket), frames_on_time=frames_on_time
+            )
+            stats = getattr(cell, "stats", None)
+            if stats is not None:
+                stats.account(record, result.stats["cache"], frames_on_time)
+            for sc, group in enumerate(bucket):
+                offset = 0
+                for arrival, future in group.arrivals:
+                    stop = offset + arrival.num_frames
+                    if not future.done():
+                        future.set_result(
+                            FrameDetection(
+                                indices=result.indices[sc, offset:stop],
+                                llrs=(
+                                    result.llrs[sc, offset:stop]
+                                    if result.llrs is not None
+                                    else None
+                                ),
+                                metadata=result.per_subcarrier_metadata[sc],
+                                flush=record,
+                            )
+                        )
+                    offset = stop

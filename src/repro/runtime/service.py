@@ -1,0 +1,425 @@
+"""The cell-agnostic detection service: one prepare+detect block path.
+
+This is the layer both runtime front-ends sit on:
+
+* :class:`~repro.runtime.engine.BatchedUplinkEngine` is a thin *batch
+  adapter* — one detector, one private context cache, synchronous
+  ``detect_batch`` calls;
+* the streaming :class:`~repro.runtime.scheduler.StreamingScheduler` and
+  the multi-cell farm (:mod:`repro.runtime.cells`) flush micro-batches
+  from many cells through a single shared service, each cell carrying
+  its own :class:`~repro.runtime.cache.ContextCache`.
+
+The service owns exactly one thing: an execution backend (``serial`` /
+``process-pool`` / ``array``) and the logic for driving a detector over
+an :class:`~repro.runtime.batch.UplinkBatch` on it.  Detector and cache
+are *per call*, which is what makes the service cell-agnostic — N cells
+with N caches (and even N different detectors) can share one backend,
+the way the paper's AP shares its processing elements across all
+subcarriers in flight (§5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, LinkSimulationError
+from repro.runtime.backends import (
+    ArrayBackend,
+    ExecutionBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.runtime.batch import BatchDetectionResult, UplinkBatch
+from repro.runtime.cache import CacheStats, ContextCache
+from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+
+def _detect_block(
+    detector,
+    channels: np.ndarray,
+    received: np.ndarray,
+    noise_var: float,
+    contexts: "list | None",
+    counter: FlopCounter,
+    use_soft: bool,
+) -> tuple[np.ndarray, np.ndarray | None, list]:
+    """Detect a ``(s, F, Nr)`` block, one context per subcarrier.
+
+    ``contexts`` supplies pre-prepared channel contexts (the cached
+    path); ``None`` means prepare inline, once per subcarrier with no
+    deduplication — the honest uncached baseline.
+    """
+    num_sc, num_frames, _ = received.shape
+    num_streams = detector.system.num_streams
+    indices = np.empty((num_sc, num_frames, num_streams), dtype=np.int64)
+    llrs = None
+    if use_soft:
+        width = num_streams * detector.system.constellation.bits_per_symbol
+        llrs = np.empty((num_sc, num_frames, width))
+    metadata = []
+    for sc in range(num_sc):
+        if contexts is None:
+            context = detector.prepare(
+                channels[sc], noise_var, counter=counter
+            )
+        else:
+            context = contexts[sc]
+        if use_soft:
+            result = detector.detect_soft_prepared(
+                context, received[sc], noise_var, counter=counter
+            )
+            llrs[sc] = result.llrs
+        else:
+            result = detector.detect_prepared(
+                context, received[sc], counter=counter
+            )
+        indices[sc] = result.indices
+        metadata.append(result.metadata)
+    return indices, llrs, metadata
+
+
+def _run_shard(payload) -> tuple:
+    """Process-pool entry point: detect one shard.
+
+    On the cached path the parent has already prepared the shard's
+    contexts through its persistent cache and ships them in the payload
+    (contexts are plain numpy dataclasses, cheap to pickle), so workers
+    only detect.  With caching disabled the worker runs ``prepare`` per
+    subcarrier itself.  FLOP totals travel back as plain ints for the
+    parent to merge.
+    """
+    (
+        detector,
+        channels,
+        received,
+        noise_var,
+        use_soft,
+        count_flops,
+        contexts,
+    ) = payload
+    counter = FlopCounter() if count_flops else NULL_COUNTER
+    indices, llrs, metadata = _detect_block(
+        detector, channels, received, noise_var, contexts, counter, use_soft
+    )
+    flops = (
+        (
+            counter.real_mults,
+            counter.real_adds,
+            counter.comparisons,
+            counter.nodes_visited,
+        )
+        if count_flops
+        else (0, 0, 0, 0)
+    )
+    return indices, llrs, metadata, flops
+
+
+def supports_soft(detector) -> bool:
+    """Whether ``detector`` produces per-bit LLRs."""
+    return hasattr(detector, "detect_soft_prepared")
+
+
+class DetectionService:
+    """Drives any detector over uplink batches on one execution backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (default), ``"process-pool"``, ``"array"`` (stacked
+        tensor walk), or any pre-built
+        :class:`~repro.runtime.backends.ExecutionBackend`.
+
+    Notes
+    -----
+    The service holds no detector and no cache — both arrive with each
+    :meth:`detect` call, so one service (one backend, one process pool,
+    one array module) safely serves many cells with isolated per-cell
+    caches.  Results are bit-identical across backends and identical to
+    driving the detector one received vector at a time; see the
+    batching contract on
+    :meth:`repro.detectors.base.Detector.detect_prepared`.
+    """
+
+    def __init__(self, backend: "str | ExecutionBackend" = "serial"):
+        self.backend = make_backend(backend)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "DetectionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        detector,
+        batch: UplinkBatch,
+        cache: "ContextCache | None" = None,
+        counter: FlopCounter = NULL_COUNTER,
+        use_soft: bool = False,
+    ) -> BatchDetectionResult:
+        """Detect one :class:`~repro.runtime.batch.UplinkBatch`.
+
+        ``cache`` is the caller's coherence cache (per engine, per cell);
+        ``None`` disables caching, preparing once per subcarrier with no
+        deduplication — the naive baseline the runtime benchmark
+        measures against.
+        """
+        self._check_batch(detector, batch)
+        if use_soft and not supports_soft(detector):
+            raise LinkSimulationError(
+                f"{detector.name} does not produce soft output"
+            )
+        if isinstance(self.backend, ArrayBackend):
+            return self._detect_array(detector, batch, cache, counter, use_soft)
+        if isinstance(self.backend, SerialBackend):
+            return self._detect_serial(
+                detector, batch, cache, counter, use_soft
+            )
+        return self._detect_sharded(detector, batch, cache, counter, use_soft)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_batch(detector, batch: UplinkBatch) -> None:
+        system = detector.system
+        if (
+            batch.num_rx_antennas != system.num_rx_antennas
+            or batch.num_streams != system.num_streams
+        ):
+            raise ConfigurationError(
+                f"batch is {batch.num_rx_antennas}x{batch.num_streams}, "
+                f"detector expects {system.num_rx_antennas}x"
+                f"{system.num_streams}"
+            )
+
+    @staticmethod
+    def _prepare_contexts(
+        detector,
+        batch: UplinkBatch,
+        cache: "ContextCache | None",
+        counter: FlopCounter,
+    ) -> "tuple[list | None, CacheStats]":
+        """Contexts for every subcarrier via the caller's cache.
+
+        Returns ``(contexts, delta)`` where ``delta`` is the batch-local
+        :class:`~repro.runtime.cache.CacheStats` movement; ``contexts``
+        is ``None`` when caching is disabled, in which case detection
+        prepares inline (one un-deduplicated ``prepare`` per subcarrier).
+        """
+        if cache is None:
+            return None, CacheStats(misses=batch.num_subcarriers)
+        before = cache.stats
+        contexts = [
+            cache.get_or_prepare(
+                detector, batch.channels[sc], batch.noise_var, counter=counter
+            )
+            for sc in range(batch.num_subcarriers)
+        ]
+        return contexts, cache.stats.since(before)
+
+    @staticmethod
+    def _prepare_contexts_block(
+        detector,
+        batch: UplinkBatch,
+        cache: "ContextCache | None",
+        counter: FlopCounter,
+    ) -> "tuple[list, CacheStats]":
+        """Block analogue of :meth:`_prepare_contexts`.
+
+        Cache misses for the whole coherence block are prepared in one
+        ``prepare_many`` call (the stacked-QR path); with caching
+        disabled every subcarrier is prepared, un-deduplicated, in one
+        stacked call — the same work the serial baseline does one
+        channel at a time.
+        """
+        if cache is None:
+            contexts = detector.prepare_many(
+                batch.channels, batch.noise_var, counter=counter
+            )
+            return contexts, CacheStats(misses=batch.num_subcarriers)
+        before = cache.stats
+        contexts = cache.get_or_prepare_block(
+            detector, batch.channels, batch.noise_var, counter=counter
+        )
+        return contexts, cache.stats.since(before)
+
+    @staticmethod
+    def _stats(base: dict, delta: CacheStats) -> dict:
+        """Assemble per-batch stats around one cache snapshot.
+
+        ``cache_hits`` and ``contexts_prepared`` are deprecated aliases
+        of ``stats["cache"].hits`` / ``stats["cache"].misses`` kept for
+        one release; new code should read the ``"cache"`` snapshot.
+        """
+        base["cache"] = delta
+        base["cache_hits"] = delta.hits
+        base["contexts_prepared"] = delta.misses
+        return base
+
+    # ------------------------------------------------------------------
+    def _detect_array(
+        self,
+        detector,
+        batch: UplinkBatch,
+        cache: "ContextCache | None",
+        counter: FlopCounter,
+        use_soft: bool,
+    ) -> BatchDetectionResult:
+        """Stacked tensor-walk path: the whole block in a few array ops.
+
+        Detectors without a block kernel (or without a soft one when
+        ``use_soft``) run the per-subcarrier loop on the backend's
+        thread instead — selecting ``backend="array"`` is always safe.
+        """
+        xp = self.backend.array_module
+        contexts, delta = self._prepare_contexts_block(
+            detector, batch, cache, counter
+        )
+        stacked = detector.has_block_kernel and (
+            not use_soft
+            or callable(getattr(detector, "detect_soft_block_prepared", None))
+        )
+        llrs = None
+        if not stacked:
+            indices, llrs, metadata = _detect_block(
+                detector,
+                batch.channels,
+                batch.received,
+                batch.noise_var,
+                contexts,
+                counter,
+                use_soft,
+            )
+        elif use_soft:
+            indices, llrs, metadata = detector.detect_soft_block_prepared(
+                contexts,
+                batch.received,
+                batch.noise_var,
+                counter=counter,
+                xp=xp,
+            )
+        else:
+            indices, metadata = detector.detect_block_prepared(
+                contexts, batch.received, counter=counter, xp=xp
+            )
+        path_groups = len(
+            {getattr(context, "active_paths", 0) for context in contexts}
+        )
+        return BatchDetectionResult(
+            indices=indices,
+            llrs=llrs,
+            per_subcarrier_metadata=metadata,
+            stats=self._stats(
+                {
+                    "backend": self.backend.name,
+                    "array_module": xp.name,
+                    "stacked": stacked,
+                    "path_groups": path_groups,
+                    "shards": 1,
+                    "subcarriers": batch.num_subcarriers,
+                    "frames": batch.num_frames,
+                },
+                delta,
+            ),
+        )
+
+    def _detect_serial(
+        self,
+        detector,
+        batch: UplinkBatch,
+        cache: "ContextCache | None",
+        counter: FlopCounter,
+        use_soft: bool,
+    ) -> BatchDetectionResult:
+        contexts, delta = self._prepare_contexts(
+            detector, batch, cache, counter
+        )
+        indices, llrs, metadata = _detect_block(
+            detector,
+            batch.channels,
+            batch.received,
+            batch.noise_var,
+            contexts,
+            counter,
+            use_soft,
+        )
+        return BatchDetectionResult(
+            indices=indices,
+            llrs=llrs,
+            per_subcarrier_metadata=metadata,
+            stats=self._stats(
+                {
+                    "backend": self.backend.name,
+                    "shards": 1,
+                    "subcarriers": batch.num_subcarriers,
+                    "frames": batch.num_frames,
+                },
+                delta,
+            ),
+        )
+
+    def _detect_sharded(
+        self,
+        detector,
+        batch: UplinkBatch,
+        cache: "ContextCache | None",
+        counter: FlopCounter,
+        use_soft: bool,
+    ) -> BatchDetectionResult:
+        # Contexts are prepared in the parent through the caller's
+        # persistent cache (so cross-call coherence amortisation survives
+        # the pool) and shipped with each shard; workers only detect.
+        contexts, delta = self._prepare_contexts(
+            detector, batch, cache, counter
+        )
+        shards = batch.shard(self.backend.num_shards_hint)
+        count_flops = counter is not NULL_COUNTER
+        payloads = []
+        start = 0
+        for shard in shards:
+            stop = start + shard.num_subcarriers
+            payloads.append(
+                (
+                    detector,
+                    shard.channels,
+                    shard.received,
+                    shard.noise_var,
+                    use_soft,
+                    count_flops,
+                    contexts[start:stop] if contexts is not None else None,
+                )
+            )
+            start = stop
+        results = self.backend.run(_run_shard, payloads)
+        indices = np.concatenate([r[0] for r in results], axis=0)
+        llrs = (
+            np.concatenate([r[1] for r in results], axis=0)
+            if use_soft
+            else None
+        )
+        metadata = [m for r in results for m in r[2]]
+        for r in results:
+            mults, adds, comparisons, nodes = r[3]
+            counter.add_real_mults(mults)
+            counter.add_real_adds(adds)
+            counter.add_comparisons(comparisons)
+            counter.add_nodes(nodes)
+        return BatchDetectionResult(
+            indices=indices,
+            llrs=llrs,
+            per_subcarrier_metadata=metadata,
+            stats=self._stats(
+                {
+                    "backend": self.backend.name,
+                    "shards": len(shards),
+                    "subcarriers": batch.num_subcarriers,
+                    "frames": batch.num_frames,
+                },
+                delta,
+            ),
+        )

@@ -56,3 +56,67 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["--experiment", "fig99"])
+
+
+class TestStreamingFlags:
+    @staticmethod
+    def _stub_result():
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="stub", title="Stub", profile="quick", columns=["x"]
+        )
+        result.add_row(x=1)
+        return result
+
+    def test_streaming_and_cells_forwarded(self, monkeypatch, capsys):
+        captured = {}
+
+        def stub(profile, backend="serial", streaming=False, cells=1):
+            captured.update(
+                backend=backend, streaming=streaming, cells=cells
+            )
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        code = main(
+            [
+                "--experiment",
+                "stub",
+                "--backend",
+                "serial",
+                "--streaming",
+                "--cells",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert captured == {
+            "backend": "serial",
+            "streaming": True,
+            "cells": 3,
+        }
+
+    def test_cells_above_one_implies_streaming(self, monkeypatch):
+        captured = {}
+
+        def stub(profile, streaming=False, cells=1):
+            captured.update(streaming=streaming, cells=cells)
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        assert main(["--experiment", "stub", "--cells", "2"]) == 0
+        assert captured == {"streaming": True, "cells": 2}
+
+    def test_streaming_skipped_without_parameter(self, monkeypatch, capsys):
+        def stub(profile):
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        assert main(["--experiment", "stub", "--streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "no streaming parameter" in out
+
+    def test_invalid_cells_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table3", "--cells", "0"])

@@ -1,9 +1,19 @@
-"""Tests for LTE mode parameters."""
+"""Tests for LTE mode parameters and the slot-deadline arithmetic the
+streaming scheduler builds on."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.ofdm.lte import LTE_MODES, SLOT_DURATION_S, lte_mode
+from repro.ofdm.lte import (
+    FRAME_DURATION_S,
+    FRAME_SYMBOLS,
+    LTE_MODES,
+    SLOT_DURATION_S,
+    SLOTS_PER_FRAME,
+    SYMBOLS_PER_SLOT,
+    lte_mode,
+    slot_deadline,
+)
 
 
 class TestModes:
@@ -34,3 +44,56 @@ class TestModes:
     def test_unknown_mode_raises(self):
         with pytest.raises(ConfigurationError):
             lte_mode(3.0)
+
+
+class TestDeadlineArithmetic:
+    """The §5.2 budget model: slots, frames, and per-vector budgets."""
+
+    def test_framing_constants_consistent(self):
+        assert SLOTS_PER_FRAME * SLOT_DURATION_S == pytest.approx(
+            FRAME_DURATION_S
+        )
+        assert SYMBOLS_PER_SLOT * SLOTS_PER_FRAME == FRAME_SYMBOLS
+
+    @pytest.mark.parametrize("mode", LTE_MODES, ids=lambda m: m.label())
+    def test_slot_and_frame_vector_budgets(self, mode):
+        assert mode.vectors_per_slot == (
+            mode.occupied_subcarriers * SYMBOLS_PER_SLOT
+        )
+        assert mode.vectors_per_frame == (
+            mode.occupied_subcarriers * FRAME_SYMBOLS
+        )
+        # A frame is exactly 20 slots' worth of vectors.
+        assert mode.vectors_per_frame == (
+            mode.vectors_per_slot * SLOTS_PER_FRAME
+        )
+        # Sustaining the required rate for one slot clears the slot.
+        assert mode.required_vector_rate * SLOT_DURATION_S == pytest.approx(
+            mode.vectors_per_slot
+        )
+
+    @pytest.mark.parametrize("mode", LTE_MODES, ids=lambda m: m.label())
+    def test_per_vector_budget(self, mode):
+        assert mode.vector_budget_s == pytest.approx(
+            SLOT_DURATION_S / mode.vectors_per_slot
+        )
+        # Wider bandwidth -> more vectors -> tighter per-vector budget.
+        assert mode.vector_budget_s * mode.vectors_per_slot == pytest.approx(
+            SLOT_DURATION_S
+        )
+
+    def test_budgets_shrink_with_bandwidth(self):
+        budgets = [mode.vector_budget_s for mode in LTE_MODES]
+        assert budgets == sorted(budgets, reverse=True)
+
+    def test_slot_deadline_default_budget(self):
+        assert slot_deadline(1.0) == pytest.approx(1.0 + SLOT_DURATION_S)
+
+    def test_slot_deadline_custom_budget(self):
+        assert slot_deadline(2.0, budget_s=0.25) == pytest.approx(2.25)
+
+    def test_slot_deadline_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError):
+            slot_deadline(0.0, budget_s=0.0)
+        with pytest.raises(ConfigurationError):
+            slot_deadline(0.0, budget_s=-1e-6)

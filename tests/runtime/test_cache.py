@@ -14,6 +14,7 @@ from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 from repro.runtime import (
     BatchedUplinkEngine,
+    CacheStats,
     ContextCache,
     ProcessPoolBackend,
     SerialBackend,
@@ -55,12 +56,12 @@ class TestContextCache:
         first = cache.get_or_prepare(detector, channel, 0.05)
         second = cache.get_or_prepare(detector, channel, 0.05)
         assert first is second
-        assert cache.stats == {
-            "hits": 1,
-            "misses": 1,
-            "evictions": 0,
-            "entries": 1,
-        }
+        assert cache.stats == CacheStats(
+            hits=1, misses=1, evictions=0, entries=1
+        )
+        # Mapping-style access is the deprecated compatibility surface.
+        assert cache.stats["hits"] == 1
+        assert cache.stats.as_dict()["entries"] == 1
 
     def test_lru_eviction(self, detector, rng):
         cache = ContextCache(max_entries=2)
@@ -111,6 +112,24 @@ class TestBackends:
     def test_make_backend_unknown(self):
         with pytest.raises(ConfigurationError):
             make_backend("quantum")
+
+    def test_make_backend_unknown_lists_sorted_registry(self):
+        """The error names every registered backend, sorted."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_backend("quantum")
+        message = str(excinfo.value)
+        assert "'quantum'" in message
+        names = list(available_backends())
+        assert names == sorted(names)
+        for name in names:
+            assert name in message
+        # Names appear in sorted registry order within the message.
+        positions = [message.index(name) for name in names]
+        assert positions == sorted(positions)
+
+    def test_make_backend_non_string_spec_lists_registry(self):
+        with pytest.raises(ConfigurationError, match="registered backends"):
+            make_backend(12345)
 
     def test_serial_preserves_order(self):
         backend = SerialBackend()

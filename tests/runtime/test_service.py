@@ -1,0 +1,162 @@
+"""Tests for the cell-agnostic detection service layer.
+
+The service is the extraction point of the three-layer refactor: one
+backend, detector and cache per call, with the batch engine reduced to
+a thin adapter on top.  These tests pin the sharing semantics (one
+service, many callers, isolated caches) and the per-batch stats
+contract (``stats["cache"]`` snapshot + deprecated aliases).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channels
+from repro.errors import ConfigurationError, LinkSimulationError
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.runtime import (
+    BatchedUplinkEngine,
+    CacheStats,
+    ContextCache,
+    DetectionService,
+    UplinkBatch,
+)
+
+
+@pytest.fixture
+def system():
+    return MimoSystem(3, 3, QamConstellation(16))
+
+
+@pytest.fixture
+def detector(system):
+    return FlexCoreDetector(system, num_paths=8)
+
+
+def make_batch(system, rng, num_sc=4, num_frames=2, noise_var=0.05):
+    channels = rayleigh_channels(
+        num_sc, system.num_rx_antennas, system.num_streams, rng
+    )
+    received = (
+        rng.standard_normal((num_sc, num_frames, system.num_rx_antennas))
+        + 0j
+    )
+    return UplinkBatch(
+        channels=channels, received=received, noise_var=noise_var
+    )
+
+
+class TestDetectionService:
+    def test_matches_engine(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        service = DetectionService()
+        cache = ContextCache()
+        direct = service.detect(detector, batch, cache=cache)
+        engine = BatchedUplinkEngine(detector).detect_batch(batch)
+        assert np.array_equal(direct.indices, engine.indices)
+
+    def test_detector_is_per_call(self, system, rng):
+        """One service drives differently-configured detectors safely."""
+        batch = make_batch(system, rng)
+        service = DetectionService()
+        narrow = FlexCoreDetector(system, num_paths=2)
+        wide = FlexCoreDetector(system, num_paths=64)
+        a = service.detect(narrow, batch, cache=ContextCache())
+        b = service.detect(wide, batch, cache=ContextCache())
+        assert a.indices.shape == b.indices.shape
+        # Each matches its own dedicated engine bit-for-bit.
+        assert np.array_equal(
+            a.indices, BatchedUplinkEngine(narrow).detect_batch(batch).indices
+        )
+        assert np.array_equal(
+            b.indices, BatchedUplinkEngine(wide).detect_batch(batch).indices
+        )
+
+    def test_caches_are_isolated_per_call(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        service = DetectionService()
+        first_cache = ContextCache()
+        second_cache = ContextCache()
+        service.detect(detector, batch, cache=first_cache)
+        result = service.detect(detector, batch, cache=second_cache)
+        # The second cache never saw the first call's contexts.
+        assert result.stats["cache"].misses == batch.num_subcarriers
+        assert first_cache.stats.misses == batch.num_subcarriers
+        assert second_cache.stats.misses == batch.num_subcarriers
+
+    def test_no_cache_is_uncached_baseline(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        service = DetectionService()
+        result = service.detect(detector, batch, cache=None)
+        again = service.detect(detector, batch, cache=None)
+        assert result.stats["contexts_prepared"] == batch.num_subcarriers
+        assert again.stats["contexts_prepared"] == batch.num_subcarriers
+        assert np.array_equal(result.indices, again.indices)
+
+    def test_soft_rejected_for_hard_detector(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        with pytest.raises(LinkSimulationError, match="soft"):
+            DetectionService().detect(detector, batch, use_soft=True)
+
+    def test_dimension_mismatch_rejected(self, detector):
+        bad = UplinkBatch(
+            channels=np.zeros((2, 5, 5), dtype=complex),
+            received=np.zeros((2, 1, 5), dtype=complex),
+            noise_var=0.1,
+        )
+        with pytest.raises(ConfigurationError):
+            DetectionService().detect(detector, bad)
+
+
+class TestCacheStatsContract:
+    def test_stats_surface_cache_snapshot(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        engine = BatchedUplinkEngine(detector)
+        first = engine.detect_batch(batch)
+        second = engine.detect_batch(batch)
+        assert isinstance(first.stats["cache"], CacheStats)
+        assert first.stats["cache"].misses == batch.num_subcarriers
+        assert second.stats["cache"].hits == batch.num_subcarriers
+        assert second.stats["cache"].entries == batch.num_subcarriers
+
+    def test_deprecated_aliases_match_snapshot(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        result = BatchedUplinkEngine(detector).detect_batch(batch)
+        snapshot = result.stats["cache"]
+        assert result.stats["cache_hits"] == snapshot.hits
+        assert result.stats["contexts_prepared"] == snapshot.misses
+
+    def test_engine_cache_stats_is_snapshot(self, detector, system, rng):
+        batch = make_batch(system, rng)
+        engine = BatchedUplinkEngine(detector)
+        engine.detect_batch(batch)
+        stats = engine.cache_stats
+        assert isinstance(stats, CacheStats)
+        assert stats.entries == batch.num_subcarriers
+        delta = engine.cache_stats.since(stats)
+        assert delta == CacheStats(entries=batch.num_subcarriers)
+
+
+class TestSharedService:
+    def test_engines_share_one_service(self, system, rng):
+        """Two engines on one service keep caches apart."""
+        batch = make_batch(system, rng)
+        service = DetectionService()
+        a = BatchedUplinkEngine(FlexCoreDetector(system, num_paths=8), service)
+        b = BatchedUplinkEngine(FlexCoreDetector(system, num_paths=8), service)
+        assert a.backend is service.backend
+        assert b.backend is service.backend
+        a.detect_batch(batch)
+        result = b.detect_batch(batch)
+        assert result.stats["cache"].misses == batch.num_subcarriers
+
+    def test_engine_close_spares_shared_service(self, detector):
+        closed = []
+        service = DetectionService()
+        service.backend.close = lambda: closed.append(True)
+        engine = BatchedUplinkEngine(detector, service)
+        engine.close()
+        assert not closed
+        service.close()
+        assert closed
