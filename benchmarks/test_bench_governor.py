@@ -1,0 +1,249 @@
+"""Control-plane benches: the governed farm vs the ungoverned farm.
+
+The acceptance story of the adaptive control plane, measured on the
+8x8 16-QAM reference uplink (2 cells x 8 subcarriers x 7 symbols/slot
+on the stacked tensor-walk backend):
+
+* **Deadline hit-rate at overload**: the slot interval is calibrated to
+  ``OVERLOAD`` x the warm *full-budget* slot cost — an offered load the
+  fixed-budget farm cannot serve.  The ungoverned run must drop below
+  90% deadline hit-rate; the governed run (AIMD path-budget policy,
+  floor start, load-aware headroom gate) must sustain >= 99% on the
+  same offered load.
+* **Accuracy cost of the floor**: governing trades paths for
+  punctuality, so the bench also prices the trade — uncoded vector- and
+  bit-error rates of the floor budget vs the full budget on a fixed
+  workload, asserted within a stated bound.
+
+Every run appends measurements to ``BENCH_governor.json`` at the repo
+root, so the repository accumulates a perf trajectory.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channels
+from repro.control import (
+    AimdPolicy,
+    ComputeGovernor,
+    WorkloadScenario,
+    calibrate_slot_cost,
+    run_paced,
+)
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.modulation.mapper import random_symbol_indices
+from repro.ofdm.lte import SYMBOLS_PER_SLOT
+from repro.runtime import CellFarm, ContextCache, DetectionService, UplinkBatch
+
+NUM_CELLS = 2
+SUBCARRIERS = 8
+PATHS_MIN = 2
+PATHS_MAX = 128
+SLOTS = 10
+OVERLOAD = 0.6
+SNR_DB = 20.0
+BACKEND = "array"
+
+#: Stated accuracy bound: the floor budget may cost at most this much
+#: additional uncoded vector-error rate over the full budget.
+VER_PENALTY_BOUND = 0.25
+
+BENCH_RECORD_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_governor.json"
+)
+
+
+def record_bench(name: str, payload: dict) -> None:
+    """Append one perf record to ``BENCH_governor.json``."""
+    document = {"records": []}
+    if BENCH_RECORD_PATH.exists():
+        try:
+            document = json.loads(BENCH_RECORD_PATH.read_text())
+        except (ValueError, OSError):  # pragma: no cover - corrupt file
+            document = {"records": []}
+    document.setdefault("records", []).append(
+        {
+            "bench": name,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "farm": {
+                "cells": NUM_CELLS,
+                "subcarriers": SUBCARRIERS,
+                "symbols_per_slot": SYMBOLS_PER_SLOT,
+                "mimo": "8x8",
+                "qam": 16,
+                "paths_min": PATHS_MIN,
+                "paths_max": PATHS_MAX,
+                "backend": BACKEND,
+            },
+            **payload,
+        }
+    )
+    BENCH_RECORD_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    system = MimoSystem(8, 8, QamConstellation(16))
+    rng = np.random.default_rng(2017)
+    noise_var = noise_variance_for_snr_db(SNR_DB)
+    cell_ids = tuple(f"cell{i}" for i in range(NUM_CELLS))
+    cell_channels = {
+        cell_id: rayleigh_channels(SUBCARRIERS, 8, 8, rng)
+        for cell_id in cell_ids
+    }
+    return system, cell_ids, cell_channels, noise_var
+
+
+def test_governed_farm_sustains_overload(workload):
+    """Governed >= 99% where the ungoverned farm drops below 90%."""
+    system, cell_ids, cell_channels, noise_var = workload
+    detector = FlexCoreDetector(system, num_paths=PATHS_MAX)
+    scenario = WorkloadScenario(
+        scenario="steady",
+        cells=cell_ids,
+        slots=SLOTS,
+        subcarriers=SUBCARRIERS,
+        utilization=1.0,
+        seed=2017,
+    )
+    with CellFarm(backend=BACKEND) as farm:
+        for cell_id in cell_ids:
+            farm.add_cell(cell_id, detector)
+        slot_cost = calibrate_slot_cost(
+            farm, scenario, cell_channels, system, noise_var
+        )
+        slot_interval = OVERLOAD * slot_cost
+
+        ungoverned, untel = run_paced(
+            farm, scenario, cell_channels, system, noise_var, slot_interval
+        )
+        governor = ComputeGovernor(
+            AimdPolicy(
+                PATHS_MIN,
+                PATHS_MAX,
+                peak_frames_hint=SUBCARRIERS * SYMBOLS_PER_SLOT,
+            )
+        )
+        governed, gtel = run_paced(
+            farm, scenario, cell_channels, system, noise_var,
+            slot_interval, governor=governor,
+        )
+
+    governed_hit = gtel.deadline_hit_rate
+    ungoverned_hit = untel.deadline_hit_rate
+    budgets = [d.budget for d in governor.telemetry.decisions]
+    print(
+        f"\nfull-budget slot {slot_cost * 1e3:.1f} ms, interval "
+        f"{slot_interval * 1e3:.1f} ms ({OVERLOAD:g}x): ungoverned "
+        f"hit-rate {ungoverned_hit:.1%}, governed {governed_hit:.1%} "
+        f"(mean budget {np.mean(budgets):.1f}, shed "
+        f"{governed.frames_shed})"
+    )
+    record_bench(
+        "governed_vs_ungoverned_overload",
+        {
+            "scenario": "steady@1.0",
+            "slots": SLOTS,
+            "overload": OVERLOAD,
+            "slot_cost_s": slot_cost,
+            "slot_interval_s": slot_interval,
+            "offered_frames": ungoverned.frames_submitted,
+            "ungoverned_hit_rate": ungoverned_hit,
+            "ungoverned_max_latency_s": untel.max_latency_s,
+            "governed_hit_rate": governed_hit,
+            "governed_max_latency_s": gtel.max_latency_s,
+            "governed_frames_shed": governed.frames_shed,
+            "governed_mean_budget": float(np.mean(budgets)),
+            "governor": governor.as_dict(),
+        },
+    )
+    assert governed_hit >= 0.99, (
+        f"governed hit-rate {governed_hit:.1%} (bar: 99%)"
+    )
+    assert ungoverned_hit < 0.90, (
+        f"ungoverned hit-rate {ungoverned_hit:.1%} not an overload "
+        "(expected < 90%) — raise the offered load"
+    )
+
+
+def test_floor_budget_accuracy_cost_is_bounded(workload):
+    """Price the floor: VER/BER at ``PATHS_MIN`` vs the full budget."""
+    system, _cell_ids, _cell_channels, noise_var = workload
+    rng = np.random.default_rng(20170)
+    num_sc, num_frames = 16, 30
+    channels = rayleigh_channels(num_sc, 8, 8, rng)
+    tx = np.stack(
+        [
+            random_symbol_indices(
+                num_frames, 8, system.constellation, rng
+            )
+            for _ in range(num_sc)
+        ]
+    )
+    received = np.stack(
+        [
+            apply_channel(
+                channels[sc],
+                system.constellation.points[tx[sc]],
+                noise_var,
+                rng,
+            )
+            for sc in range(num_sc)
+        ]
+    )
+    detector = FlexCoreDetector(system, num_paths=PATHS_MAX)
+    service = DetectionService(BACKEND)
+    cache = ContextCache()
+    batch = UplinkBatch(
+        channels=channels, received=received, noise_var=noise_var
+    )
+
+    def error_rates(max_paths):
+        result = service.detect(
+            detector, batch, cache=cache, max_paths=max_paths
+        )
+        wrong = result.indices != tx
+        ver = float(wrong.any(axis=2).mean())
+        rx_bits = system.constellation.indices_to_bits(
+            result.indices.reshape(-1)
+        )
+        tx_bits = system.constellation.indices_to_bits(tx.reshape(-1))
+        ber = float((rx_bits != tx_bits).mean())
+        return ver, ber
+
+    ver_full, ber_full = error_rates(None)
+    ver_floor, ber_floor = error_rates(PATHS_MIN)
+    ver_penalty = ver_floor - ver_full
+    print(
+        f"\naccuracy cost of the floor ({PATHS_MIN} vs {PATHS_MAX} "
+        f"paths at {SNR_DB:g} dB): VER {ver_full:.4f} -> {ver_floor:.4f}"
+        f" (+{ver_penalty:.4f}), BER {ber_full:.5f} -> {ber_floor:.5f}"
+    )
+    record_bench(
+        "floor_budget_accuracy_cost",
+        {
+            "snr_db": SNR_DB,
+            "vectors": int(tx.shape[0] * tx.shape[1]),
+            "ver_full_budget": ver_full,
+            "ver_floor_budget": ver_floor,
+            "ver_penalty": ver_penalty,
+            "ver_penalty_bound": VER_PENALTY_BOUND,
+            "ber_full_budget": ber_full,
+            "ber_floor_budget": ber_floor,
+        },
+    )
+    service.close()
+    assert ver_penalty <= VER_PENALTY_BOUND, (
+        f"floor budget costs {ver_penalty:.3f} VER over the full budget "
+        f"(stated bound: {VER_PENALTY_BOUND})"
+    )

@@ -237,8 +237,8 @@ def test_warm_cache_amortises_prepare(workload):
     warm_start = time.perf_counter()
     warm = engine.detect_batch(channels, received, noise_var)
     warm_s = time.perf_counter() - warm_start
-    assert warm.stats["contexts_prepared"] == 0
-    assert warm.stats["cache_hits"] == NUM_SUBCARRIERS
+    assert warm.stats["cache"].misses == 0
+    assert warm.stats["cache"].hits == NUM_SUBCARRIERS
     print(
         f"\ncold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms "
         f"({cold_s / warm_s:.1f}x)"

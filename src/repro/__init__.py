@@ -43,12 +43,24 @@ from repro.flexcore import (
 from repro.mimo import MimoSystem
 from repro.modulation import QamConstellation
 from repro.runtime import BatchedUplinkEngine, UplinkBatch
+from repro.control import (
+    AimdPolicy,
+    ComputeGovernor,
+    SnrAwarePolicy,
+    StaticPolicy,
+    WorkloadScenario,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveFlexCoreDetector",
+    "AimdPolicy",
     "BatchedUplinkEngine",
+    "ComputeGovernor",
+    "SnrAwarePolicy",
+    "StaticPolicy",
+    "WorkloadScenario",
     "DetectionResult",
     "Detector",
     "FcsdDetector",

@@ -1,0 +1,403 @@
+"""The closed-loop compute governor over the streaming runtime.
+
+PR 3's scheduler *measures* the real-time contract (per-flush latency,
+deadline hits) but never acts on it: under overload it misses slots,
+under light load it leaves accuracy on the table.  The
+:class:`ComputeGovernor` closes the loop — the software control plane
+van der Perre et al. (arXiv:1807.05882) argue massive-MIMO basebands
+need to stay inside a compute/power envelope, in the spirit of RaPro's
+(arXiv:1704.04573) control layer over a PHY pipeline:
+
+* the :class:`~repro.runtime.scheduler.StreamingScheduler` feeds it
+  every :class:`~repro.runtime.scheduler.FlushRecord` (plus the flushed
+  channel, for SNR-aware policies) and asks it for the current per-cell
+  path budget before each service call;
+* once per **control tick** the governor assembles a
+  :class:`~repro.control.policy.CellObservation` per cell, runs that
+  cell's :class:`~repro.control.policy.PathBudgetPolicy`, optionally
+  fits the answers under a global path budget
+  (:func:`~repro.control.policy.allocate_budget`), and installs the new
+  budgets — which take effect on the very next flush;
+* when a cell is already at its floor budget and still missing
+  deadlines, no budget cut can save the slot: the governor escalates to
+  **admission control**, shedding that cell's new arrivals (each shed
+  future fails with :class:`~repro.errors.LoadShedError`) until a
+  control window passes clean again.  Shedding a minority of slots
+  explicitly beats missing all of them silently.
+
+The governor is clock-free (the scheduler passes ``now`` into every
+call), so control behaviour is simulation-testable without asyncio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.policy import (
+    CellObservation,
+    PathBudgetPolicy,
+    allocate_budget,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """One cell's outcome of one control tick."""
+
+    tick: int
+    time_s: float
+    cell: str
+    budget: int
+    frames: int
+    frames_late: int
+    frames_shed: int
+    deadline_hit_rate: float
+    shedding: bool
+
+
+@dataclass
+class GovernorTelemetry:
+    """Control-plane counters: ticks, budget moves, shed episodes."""
+
+    ticks: int = 0
+    budget_increases: int = 0
+    budget_decreases: int = 0
+    sheds_started: int = 0
+    sheds_ended: int = 0
+    frames_shed: int = 0
+    decisions: list = field(default_factory=list)
+    max_decisions: int = 4096
+    decisions_dropped: int = 0
+
+    def record(self, decision: GovernorDecision) -> None:
+        if len(self.decisions) < self.max_decisions:
+            self.decisions.append(decision)
+        else:
+            self.decisions_dropped += 1
+
+    def budget_trajectory(self, cell: str) -> "list[int]":
+        """The recorded budget sequence of one cell, tick order."""
+        return [d.budget for d in self.decisions if d.cell == cell]
+
+    def as_dict(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "budget_increases": self.budget_increases,
+            "budget_decreases": self.budget_decreases,
+            "sheds_started": self.sheds_started,
+            "sheds_ended": self.sheds_ended,
+            "frames_shed": self.frames_shed,
+            "decisions_dropped": self.decisions_dropped,
+        }
+
+
+class _Lane:
+    """Per-cell control state: the policy instance plus one window."""
+
+    def __init__(self, cell_id: str, policy: PathBudgetPolicy):
+        self.cell_id = cell_id
+        self.policy = policy
+        self.budget = policy.initial_budget()
+        self.shedding = False
+        self.shed_streak = 0  # arrivals seen since shedding began
+        self.channel: "np.ndarray | None" = None
+        self.noise_var: "float | None" = None
+        self.peak_flush_frames = 0  # lifetime, not per window
+        self.reset_window()
+
+    def reset_window(self) -> None:
+        self.frames = 0
+        self.flushes = 0
+        self.frames_on_time = 0
+        self.frames_late = 0
+        self.frames_shed = 0
+        self.latency_sum_s = 0.0
+        self.latency_max_s = 0.0
+        self.service_sum_s = 0.0
+
+    def observation(self, slot_budget_s: float) -> CellObservation:
+        return CellObservation(
+            cell_id=self.cell_id,
+            budget=self.budget,
+            frames=self.frames,
+            flushes=self.flushes,
+            frames_on_time=self.frames_on_time,
+            frames_late=self.frames_late,
+            frames_shed=self.frames_shed,
+            mean_latency_s=(
+                self.latency_sum_s / self.flushes if self.flushes else 0.0
+            ),
+            max_latency_s=self.latency_max_s,
+            service_sum_s=self.service_sum_s,
+            peak_flush_frames=self.peak_flush_frames,
+            slot_budget_s=slot_budget_s,
+            channel=self.channel,
+            noise_var=self.noise_var,
+        )
+
+
+class ComputeGovernor:
+    """Load-aware path-budget governor with admission control.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`~repro.control.policy.PathBudgetPolicy` prototype;
+        every cell gets its own :meth:`~PathBudgetPolicy.clone` so
+        stateful policies (AIMD) never share state across cells.
+    control_interval_s:
+        Spacing of control ticks.  ``None`` (default) ticks once per
+        slot budget (learned from the scheduler it attaches to); ``0``
+        ticks on every opportunity the scheduler offers — the
+        fastest-reacting, most expensive setting.
+    slot_budget_s:
+        Deadline budget observations are framed against.  Normally left
+        ``None`` and bound by the scheduler on attach.
+    total_path_budget:
+        Optional global budget: the sum of awarded per-cell budgets
+        never exceeds it (see
+        :func:`~repro.control.policy.allocate_budget`).
+    shed_below / resume_above:
+        Admission-control hysteresis: a cell at its floor budget whose
+        window hit-rate falls below ``shed_below`` starts shedding.
+        While shedding, every ``probe_every``-th arrival is still
+        admitted as a *probe*; the cell resumes only when a window's
+        probes meet their deadlines at ``resume_above`` or better (or
+        the window was completely idle — nothing offered, nothing to
+        shed).
+    probe_every:
+        Probe cadence during shedding (1 admits everything — shedding
+        disabled in effect; large values probe rarely and recover
+        slowly).
+    """
+
+    def __init__(
+        self,
+        policy: PathBudgetPolicy,
+        control_interval_s: "float | None" = None,
+        slot_budget_s: "float | None" = None,
+        total_path_budget: "int | None" = None,
+        shed_below: float = 0.5,
+        resume_above: float = 0.95,
+        probe_every: int = 8,
+    ):
+        if not isinstance(policy, PathBudgetPolicy):
+            raise ConfigurationError(
+                "ComputeGovernor needs a PathBudgetPolicy, got "
+                f"{type(policy).__name__}"
+            )
+        if control_interval_s is not None and control_interval_s < 0:
+            raise ConfigurationError(
+                "control_interval_s must be >= 0"
+            )
+        if total_path_budget is not None and total_path_budget < 1:
+            raise ConfigurationError("total_path_budget must be >= 1")
+        if not 0.0 <= shed_below <= 1.0:
+            raise ConfigurationError("shed_below must lie in [0, 1]")
+        if not 0.0 <= resume_above <= 1.0:
+            raise ConfigurationError("resume_above must lie in [0, 1]")
+        if probe_every < 1:
+            raise ConfigurationError("probe_every must be >= 1")
+        self.policy = policy
+        self.control_interval_s = control_interval_s
+        self.slot_budget_s = slot_budget_s
+        self.total_path_budget = total_path_budget
+        self.shed_below = float(shed_below)
+        self.resume_above = float(resume_above)
+        self.probe_every = int(probe_every)
+        self.telemetry = GovernorTelemetry()
+        self._lanes: "dict[str, _Lane]" = {}
+        self._last_tick_s: "float | None" = None
+        self._slot_budget_from_scheduler = False
+
+    # ------------------------------------------------------------------
+    def _lane(self, cell_id: str) -> _Lane:
+        lane = self._lanes.get(cell_id)
+        if lane is None:
+            lane = _Lane(cell_id, self.policy.clone())
+            self._lanes[cell_id] = lane
+        return lane
+
+    @property
+    def _interval_s(self) -> float:
+        if self.control_interval_s is not None:
+            return self.control_interval_s
+        if self.slot_budget_s is not None and math.isfinite(
+            self.slot_budget_s
+        ):
+            return self.slot_budget_s
+        return 0.0
+
+    # -- scheduler-facing hooks ----------------------------------------
+    def bind_slot_budget(self, slot_budget_s: float) -> None:
+        """Adopt the attaching scheduler's deadline frame of reference.
+
+        A value the *operator* configured at construction is never
+        overwritten; a value learned from a previous scheduler is — so
+        a governor reused across schedulers (e.g. an engine's governor
+        surviving many ``detect_batch`` calls, then attached to a
+        real-time farm) always judges observations against the budget
+        currently in force.
+        """
+        if self.slot_budget_s is None or self._slot_budget_from_scheduler:
+            self.slot_budget_s = slot_budget_s
+            self._slot_budget_from_scheduler = True
+
+    def path_budget(self, cell_id: str) -> int:
+        """The budget the next flush of ``cell_id`` should run at."""
+        return self._lane(cell_id).budget
+
+    def admit(self, cell_id: str, frames: int, now: float) -> bool:
+        """Admission control: False means shed this arrival.
+
+        While shedding, every ``probe_every``-th arrival is still let
+        through — the probe traffic whose deadline fate decides whether
+        the cell may resume (see ``resume_above``).
+        """
+        lane = self._lane(cell_id)
+        if lane.shedding:
+            lane.shed_streak += 1
+            if lane.shed_streak % self.probe_every == 0:
+                return True  # probe
+            lane.frames_shed += frames
+            self.telemetry.frames_shed += frames
+            return False
+        return True
+
+    def observe_flush(
+        self,
+        cell_id: str,
+        record,
+        frames_on_time: "int | None" = None,
+        channel: "np.ndarray | None" = None,
+        noise_var: "float | None" = None,
+    ) -> None:
+        """Account one :class:`~repro.runtime.scheduler.FlushRecord`."""
+        lane = self._lane(cell_id)
+        if frames_on_time is None:
+            frames_on_time = record.frames if record.deadline_met else 0
+        lane.frames += record.frames
+        lane.flushes += 1
+        lane.frames_on_time += frames_on_time
+        lane.frames_late += record.frames - frames_on_time
+        lane.latency_sum_s += record.latency_s
+        lane.latency_max_s = max(lane.latency_max_s, record.latency_s)
+        lane.service_sum_s += record.completed_s - record.flushed_s
+        lane.peak_flush_frames = max(lane.peak_flush_frames, record.frames)
+        if channel is not None:
+            lane.channel = channel
+            lane.noise_var = noise_var
+
+    def maybe_tick(self, now: float) -> bool:
+        """Run a control tick if the interval elapsed; returns whether."""
+        if self._last_tick_s is None:
+            self._last_tick_s = now
+            return False
+        if now - self._last_tick_s < self._interval_s:
+            return False
+        self.tick(now)
+        return True
+
+    # -- the control law ------------------------------------------------
+    def tick(self, now: float) -> None:
+        """One control step over every known cell."""
+        self._last_tick_s = now
+        self.telemetry.ticks += 1
+        slot_budget = (
+            self.slot_budget_s if self.slot_budget_s is not None else math.inf
+        )
+        desired: "dict[str, int]" = {}
+        observations: "dict[str, CellObservation]" = {}
+        for cell_id, lane in self._lanes.items():
+            observation = lane.observation(slot_budget)
+            observations[cell_id] = observation
+            desired[cell_id] = lane.policy.update(observation)
+        if self.total_path_budget is not None and desired:
+            floors = {
+                cell_id: lane.policy.paths_min
+                for cell_id, lane in self._lanes.items()
+            }
+            desired = allocate_budget(
+                desired, self.total_path_budget, floors
+            )
+        for cell_id, lane in self._lanes.items():
+            observation = observations[cell_id]
+            budget = desired[cell_id]
+            if budget > lane.budget:
+                self.telemetry.budget_increases += 1
+            elif budget < lane.budget:
+                self.telemetry.budget_decreases += 1
+            lane.budget = budget
+            self._update_shedding(lane, observation, budget)
+            self.telemetry.record(
+                GovernorDecision(
+                    tick=self.telemetry.ticks,
+                    time_s=now,
+                    cell=cell_id,
+                    budget=budget,
+                    frames=observation.frames,
+                    frames_late=observation.frames_late,
+                    frames_shed=observation.frames_shed,
+                    deadline_hit_rate=observation.deadline_hit_rate,
+                    shedding=lane.shedding,
+                )
+            )
+            lane.reset_window()
+
+    def _update_shedding(
+        self, lane: _Lane, observation: CellObservation, budget: int
+    ) -> None:
+        if not lane.shedding:
+            # Escalate only when the budget dial is exhausted: the
+            # policy has no further cut to offer — it is at its floor,
+            # or it answered a badly-missing window without lowering
+            # the budget that window ran at (SNR-aware and static
+            # policies never cut on misses) — and the window missed
+            # badly enough that the next one is not expected to
+            # recover on its own.
+            dial_exhausted = (
+                budget <= lane.policy.paths_min
+                or budget >= observation.budget
+            )
+            if (
+                dial_exhausted
+                and observation.frames_late > 0
+                and observation.deadline_hit_rate < self.shed_below
+            ):
+                lane.shedding = True
+                lane.shed_streak = 0
+                self.telemetry.sheds_started += 1
+        else:
+            # Resume only on evidence: a window whose admitted probes
+            # met their deadlines at resume_above or better, or a
+            # completely idle window (nothing offered, nothing shed).
+            probes_recovered = (
+                observation.frames > 0
+                and observation.deadline_hit_rate >= self.resume_above
+            )
+            if probes_recovered or not observation.busy:
+                lane.shedding = False
+                self.telemetry.sheds_ended += 1
+
+    # -- reporting -------------------------------------------------------
+    def budgets(self) -> "dict[str, int]":
+        return {
+            cell_id: lane.budget for cell_id, lane in self._lanes.items()
+        }
+
+    def shedding(self) -> "dict[str, bool]":
+        return {
+            cell_id: lane.shedding
+            for cell_id, lane in self._lanes.items()
+        }
+
+    def as_dict(self) -> dict:
+        payload = self.telemetry.as_dict()
+        payload["policy"] = self.policy.name
+        payload["budgets"] = self.budgets()
+        payload["shedding"] = self.shedding()
+        return payload

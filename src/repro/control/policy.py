@@ -1,0 +1,409 @@
+"""Path-budget policies: the control laws of the adaptive control plane.
+
+FlexCore's headline claim is that the number of explored tree paths is a
+*runtime dial* trading detection accuracy against compute (§3.3, Fig. 9).
+This module turns the dial into closed-loop control laws: a policy
+observes one cell's recent streaming behaviour (deadline hits, flush
+latency, the latest channel) once per control tick and answers with the
+path budget the next flushes should run at.
+
+Three policies, in increasing awareness:
+
+* :class:`StaticPolicy` — a fixed budget; the identity control law.  A
+  governed farm under a static policy at the detector's own path count
+  is bit-identical to the ungoverned farm (pinned by the equivalence
+  suite), which is what makes the control plane safe to leave attached.
+* :class:`AimdPolicy` — TCP-style additive-increase /
+  multiplicative-decrease on deadline misses: any late frame in the
+  window multiplies the budget down, a clean window with latency
+  headroom adds to it.  Channel-agnostic congestion control over
+  compute.
+* :class:`SnrAwarePolicy` — the paper's adaptive FlexCore (§3.3) lifted
+  from per-subcarrier to per-cell budgeting: from the cell's latest
+  channel it builds :class:`repro.flexcore.probability.LevelErrorModel`
+  and asks the §3.1.1 pre-processing search for the *minimum* path count
+  whose cumulative path probability covers ``1 - target_error_rate`` —
+  the smallest budget meeting a target vector-error rate under the
+  geometric model.
+
+:func:`allocate_budget` closes the farm-level loop: given every cell's
+desired budget and one global budget (total concurrent tree paths — the
+software analogue of a fixed pool of processing elements), it
+water-fills deterministically, guaranteeing each cell its floor.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.flexcore.preprocessing import find_promising_paths
+from repro.flexcore.probability import LevelErrorModel
+from repro.mimo.qr import sorted_qr
+from repro.modulation.constellation import QamConstellation
+from repro.runtime.cache import context_key
+
+
+#: CLI names of the built-in policy catalogue — the one list the
+#: runner's ``--governor`` choices, the experiment factory and the demo
+#: all share.
+POLICY_NAMES = ("static", "aimd", "snr")
+
+
+@dataclass(frozen=True)
+class CellObservation:
+    """What one cell looked like over one control window.
+
+    Assembled by the governor from the scheduler's flush telemetry;
+    policies consume it and nothing else, which keeps every control law
+    pure and testable with synthetic observations.
+
+    Attributes
+    ----------
+    cell_id:
+        The observed cell.
+    budget:
+        Path budget that was in force during the window.
+    frames / flushes:
+        Detected frames and service calls in the window.
+    frames_on_time / frames_late:
+        Per-frame deadline accounting within the window.
+    frames_shed:
+        Frames refused by admission control during the window.
+    mean_latency_s / max_latency_s:
+        Flush latency (oldest arrival to completion) over the window.
+    service_sum_s:
+        Total *service* time (flush dispatch to completion, queueing
+        excluded) over the window — the per-frame cost estimator's
+        numerator.
+    peak_flush_frames:
+        Largest single flush (frames) the cell has ever produced — the
+        observed peak slot load.
+    slot_budget_s:
+        The deadline budget flushes are measured against (``inf`` when
+        the scheduler runs drain-driven).
+    channel:
+        Latest flushed ``(Nr, Nt)`` channel, or ``None`` before the
+        first flush — the SNR-aware policy's input.
+    noise_var:
+        Noise variance of that flush.
+    """
+
+    cell_id: str
+    budget: int
+    frames: int = 0
+    flushes: int = 0
+    frames_on_time: int = 0
+    frames_late: int = 0
+    frames_shed: int = 0
+    mean_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    service_sum_s: float = 0.0
+    peak_flush_frames: int = 0
+    slot_budget_s: float = math.inf
+    channel: "np.ndarray | None" = None
+    noise_var: "float | None" = None
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of the window's detected frames that were on time."""
+        total = self.frames_on_time + self.frames_late
+        return self.frames_on_time / total if total else 1.0
+
+    @property
+    def mean_service_per_frame_s(self) -> float:
+        """Measured service cost per frame at the window's budget."""
+        return self.service_sum_s / self.frames if self.frames else 0.0
+
+    @property
+    def busy(self) -> bool:
+        """Whether the window saw any traffic (detected or shed)."""
+        return self.frames > 0 or self.frames_shed > 0
+
+
+class PathBudgetPolicy:
+    """Base class: a per-cell control law over the path budget.
+
+    Every policy guarantees its output stays in
+    ``[paths_min, paths_max]`` — the property the hypothesis suite
+    pins.  Policies may be stateful (AIMD is); the governor
+    :meth:`clone`\\ s the configured prototype once per cell so cells
+    never share state.
+    """
+
+    name = "policy"
+
+    def __init__(self, paths_min: int, paths_max: int):
+        if paths_min < 1:
+            raise ConfigurationError("paths_min must be >= 1")
+        if paths_max < paths_min:
+            raise ConfigurationError(
+                f"paths_max ({paths_max}) must be >= paths_min ({paths_min})"
+            )
+        self.paths_min = int(paths_min)
+        self.paths_max = int(paths_max)
+
+    # ------------------------------------------------------------------
+    def clamp(self, budget: float) -> int:
+        return int(min(self.paths_max, max(self.paths_min, budget)))
+
+    def initial_budget(self) -> int:
+        """Budget before the first observation."""
+        return self.paths_max
+
+    def update(self, observation: CellObservation) -> int:
+        """One control step: observation in, clamped budget out."""
+        raise NotImplementedError
+
+    def clone(self) -> "PathBudgetPolicy":
+        """An independent per-cell instance of this configuration."""
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(paths_min={self.paths_min}, "
+            f"paths_max={self.paths_max})"
+        )
+
+
+class StaticPolicy(PathBudgetPolicy):
+    """A fixed path budget — the identity control law.
+
+    Attaching a governor under ``StaticPolicy(detector.num_paths)`` is
+    bit-identical to running ungoverned (the equivalence suite pins
+    this), so the control plane can stay wired in even when no
+    adaptation is wanted.
+    """
+
+    name = "static"
+
+    def __init__(self, paths: int):
+        super().__init__(paths, paths)
+        self.paths = int(paths)
+
+    def initial_budget(self) -> int:
+        return self.paths
+
+    def update(self, observation: CellObservation) -> int:
+        return self.paths
+
+
+class AimdPolicy(PathBudgetPolicy):
+    """Additive-increase / multiplicative-decrease on deadline misses.
+
+    The classic congestion-control law applied to compute: a window
+    containing any late frame multiplies the budget by ``backoff``; a
+    clean, busy window adds ``increase`` paths — but only through the
+    **load-aware headroom gate**.  A naive latency gate probes straight
+    into the deadline on bursty traffic: quiet windows have tiny
+    flushes, so latency looks harmless, the budget climbs to the
+    ceiling, and the next burst lands late.  Instead the gate predicts
+    what the *peak* slot would cost at the raised budget — measured
+    per-frame service time, scaled linearly to the candidate budget,
+    times the largest flush the cell has ever produced (or the caller's
+    ``peak_frames_hint``, e.g. ``subcarriers x 7`` when the radio's
+    capacity is known) — and grows only while that prediction and the
+    window's observed worst latency both fit inside ``headroom`` of the
+    slot budget.
+
+    Under sustained misses the budget is monotone non-increasing down to
+    ``paths_min`` (property-tested), which is the precondition for the
+    governor's load-shedding escalation.
+    """
+
+    name = "aimd"
+
+    def __init__(
+        self,
+        paths_min: int,
+        paths_max: int,
+        start: "int | None" = None,
+        increase: int = 1,
+        backoff: float = 0.5,
+        headroom: float = 0.5,
+        peak_frames_hint: "int | None" = None,
+    ):
+        super().__init__(paths_min, paths_max)
+        if not 0.0 < backoff < 1.0:
+            raise ConfigurationError("backoff must lie in (0, 1)")
+        if increase < 1:
+            raise ConfigurationError("increase must be >= 1")
+        if not 0.0 < headroom <= 1.0:
+            raise ConfigurationError("headroom must lie in (0, 1]")
+        if peak_frames_hint is not None and peak_frames_hint < 1:
+            raise ConfigurationError("peak_frames_hint must be >= 1")
+        self.increase = int(increase)
+        self.backoff = float(backoff)
+        self.headroom = float(headroom)
+        self.peak_frames_hint = peak_frames_hint
+        self._budget = self.clamp(paths_min if start is None else start)
+
+    def initial_budget(self) -> int:
+        return self._budget
+
+    def _increase_is_safe(self, observation: CellObservation) -> bool:
+        allowance = self.headroom * observation.slot_budget_s
+        if not math.isfinite(allowance):
+            return True  # drain-driven operation: no deadline to protect
+        if observation.max_latency_s > allowance:
+            return False
+        per_frame = observation.mean_service_per_frame_s
+        peak = max(
+            observation.peak_flush_frames, self.peak_frames_hint or 0
+        )
+        if per_frame <= 0.0 or peak <= 0:
+            return True
+        # Service cost scales ~linearly with the path budget; predict
+        # the peak slot at the raised budget before committing to it.
+        # The measurement was taken at the budget the window actually
+        # ran at (observation.budget — a global path budget may have
+        # clamped it below this policy's desire), so scale from there.
+        raised = self.clamp(self._budget + self.increase)
+        predicted = per_frame * peak * raised / max(observation.budget, 1)
+        return predicted <= allowance
+
+    def update(self, observation: CellObservation) -> int:
+        if observation.frames_late > 0:
+            self._budget = self.clamp(
+                math.floor(self._budget * self.backoff)
+            )
+        elif observation.frames > 0 and self._increase_is_safe(observation):
+            self._budget = self.clamp(self._budget + self.increase)
+        return self._budget
+
+
+class SnrAwarePolicy(PathBudgetPolicy):
+    """Minimum budget meeting a target vector-error rate (a-FlexCore).
+
+    From the cell's latest flushed channel, build the level-error model
+    (:mod:`repro.flexcore.probability`) on the sorted-QR ``R`` diagonal
+    and run the §3.1.1 best-first search with a cumulative-probability
+    stopping criterion of ``1 - target_error_rate``: the number of paths
+    expanded before the mass is covered is, under the geometric model,
+    the smallest budget whose unexplored probability — the modelled
+    vector-error rate — is below target.  Well-conditioned channels
+    collapse towards one path; harsh ones saturate at ``paths_max``.
+
+    This is the paper's adaptive FlexCore decision, made once per
+    control tick per cell instead of once per subcarrier, so its cost
+    (one QR + one tree search) is amortised over every flush of the
+    window.
+    """
+
+    name = "snr"
+
+    def __init__(
+        self,
+        constellation: QamConstellation,
+        paths_min: int,
+        paths_max: int,
+        target_error_rate: float = 0.05,
+        pe_formula: str = "corrected",
+    ):
+        super().__init__(paths_min, paths_max)
+        if not 0.0 < target_error_rate < 1.0:
+            raise ConfigurationError(
+                "target_error_rate must lie in (0, 1)"
+            )
+        self.constellation = constellation
+        self.target_error_rate = float(target_error_rate)
+        self.pe_formula = pe_formula
+        self._budget = self.paths_max
+        # Memo of the last decision, keyed on channel *content*: under
+        # coherence the same channel matrix recurs every slot (as fresh
+        # ndarray views, so identity would never hit), and a QR + tree
+        # search per tick per cell is real money on the scheduler's
+        # event loop.  Hashing the channel bytes is microseconds.
+        self._memo_key: "bytes | None" = None
+
+    def initial_budget(self) -> int:
+        return self._budget
+
+    def budget_for_channel(
+        self, channel: np.ndarray, noise_var: float
+    ) -> int:
+        """The minimum admissible budget for one channel realisation."""
+        qr = sorted_qr(np.asarray(channel))
+        model = LevelErrorModel.from_channel(
+            qr.r, noise_var, self.constellation, formula=self.pe_formula
+        )
+        search = find_promising_paths(
+            model,
+            num_paths=self.paths_max,
+            max_rank=self.constellation.order,
+            stop_threshold=1.0 - self.target_error_rate,
+        )
+        return self.clamp(search.position_vectors.shape[0])
+
+    def update(self, observation: CellObservation) -> int:
+        if observation.channel is None or observation.noise_var is None:
+            return self.clamp(self._budget)
+        key = context_key(observation.channel, observation.noise_var)
+        if key == self._memo_key:
+            return self.clamp(self._budget)
+        self._budget = self.budget_for_channel(
+            observation.channel, observation.noise_var
+        )
+        self._memo_key = key
+        return self._budget
+
+
+def allocate_budget(
+    desired: "dict[str, int]",
+    total: int,
+    floors: "dict[str, int] | int" = 1,
+) -> "dict[str, int]":
+    """Fit per-cell desired budgets under one global path budget.
+
+    ``total`` bounds the *sum* of awarded budgets — the software
+    analogue of a fixed pool of processing elements shared by the farm.
+    When the desires fit, everyone gets what they asked; otherwise every
+    cell is guaranteed its floor and the surplus is split proportionally
+    to each cell's excess desire by largest remainder, with ties broken
+    by cell id so the allocation is deterministic.
+
+    When even the floors exceed ``total`` the floors are returned as-is
+    (the pool is oversubscribed at minimum service); that is the
+    governor's cue to start shedding load rather than degrade below the
+    accuracy floor.
+    """
+    if total < 1:
+        raise ConfigurationError("total path budget must be >= 1")
+    if not desired:
+        return {}
+    if isinstance(floors, int):
+        floors = {cell: floors for cell in desired}
+    for cell, want in desired.items():
+        floor = floors.get(cell, 1)
+        if want < floor:
+            raise ConfigurationError(
+                f"cell {cell!r} desires {want} below its floor {floor}"
+            )
+    if sum(desired.values()) <= total:
+        return dict(desired)
+    floor_sum = sum(floors.get(cell, 1) for cell in desired)
+    if floor_sum >= total:
+        return {cell: floors.get(cell, 1) for cell in desired}
+    surplus = total - floor_sum
+    excess = {
+        cell: desired[cell] - floors.get(cell, 1) for cell in desired
+    }
+    excess_sum = sum(excess.values())
+    shares = {
+        cell: surplus * excess[cell] / excess_sum for cell in desired
+    }
+    awarded = {cell: int(math.floor(shares[cell])) for cell in desired}
+    leftover = surplus - sum(awarded.values())
+    # Largest remainder, cell id as the deterministic tie-break.
+    order = sorted(
+        desired, key=lambda cell: (awarded[cell] - shares[cell], cell)
+    )
+    for cell in order[:leftover]:
+        awarded[cell] += 1
+    return {
+        cell: floors.get(cell, 1) + awarded[cell] for cell in desired
+    }

@@ -34,3 +34,14 @@ class LinkSimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness failed to assemble its result."""
+
+
+class LoadShedError(ReproError):
+    """An arrival was refused by the control plane's admission control.
+
+    Raised through the arrival's future when the
+    :class:`~repro.control.governor.ComputeGovernor` is shedding the
+    cell's load: even the floor path budget cannot meet the slot
+    deadline, so the frame is dropped explicitly rather than detected
+    late.
+    """

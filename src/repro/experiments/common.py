@@ -108,6 +108,10 @@ class ExperimentResult:
     columns: list
     rows: list = field(default_factory=list)
     notes: list = field(default_factory=list)
+    #: Execution-substrate accounting that is not part of the table
+    #: itself (e.g. the streaming scheduler's deadline telemetry, the
+    #: governor's control summary); persisted by :meth:`save_json`.
+    runtime: dict = field(default_factory=dict)
 
     def add_row(self, **values) -> None:
         missing = [column for column in self.columns if column not in values]
@@ -119,6 +123,10 @@ class ExperimentResult:
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def record_runtime(self, key: str, payload) -> None:
+        """Attach one runtime-accounting payload to the saved report."""
+        self.runtime[key] = payload
 
     # ------------------------------------------------------------------
     def to_text_table(self) -> str:
@@ -161,6 +169,8 @@ class ExperimentResult:
             "rows": _jsonable(self.rows),
             "notes": self.notes,
         }
+        if self.runtime:
+            payload["runtime"] = _jsonable(self.runtime)
         Path(path).write_text(json.dumps(payload, indent=2))
 
     def column(self, name: str) -> list:

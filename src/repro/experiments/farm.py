@@ -1,0 +1,207 @@
+"""AP-farm control-plane experiment: governed vs ungoverned under load.
+
+Not a figure of the paper — a systems extension in its spirit: §5.2
+frames detection against the LTE 500 µs slot budget, and §3.3's adaptive
+FlexCore picks path counts from channel conditions.  This experiment
+paces a seeded traffic scenario (:mod:`repro.control.workload`) through
+the streaming cell farm twice — once ungoverned at the detector's full
+path budget, once under a :class:`~repro.control.ComputeGovernor` — at a
+slot interval deliberately calibrated into overload, and tabulates what
+each run did with the same offered load: deadline hit-rate, sheds, flush
+count, and the budget the governor actually ran at.
+
+The interesting outcome (benchmarked harder in
+``benchmarks/test_bench_governor.py``): the ungoverned farm burns its
+entire budget missing deadlines, while the governed farm trades paths —
+accuracy the channel may not even need — for slots that arrive on time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.fading import rayleigh_channels
+from repro.control import (
+    POLICY_NAMES,
+    AimdPolicy,
+    ComputeGovernor,
+    SnrAwarePolicy,
+    StaticPolicy,
+    WorkloadScenario,
+    calibrate_slot_cost,
+    run_paced,
+)
+from repro.control.workload import SCENARIOS
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentResult, get_profile
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.model import noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.ofdm.lte import SYMBOLS_PER_SLOT
+from repro.runtime import CellFarm
+
+#: Path-budget range the governed run may move within.
+PATHS_MIN = 2
+PATHS_MAX = 128
+#: Offered-load dial: slot interval = OVERLOAD x full-budget slot cost.
+OVERLOAD = 0.6
+SNR_DB = 20.0
+
+
+def make_policy(
+    name: str,
+    constellation: QamConstellation,
+    peak_frames: "int | None" = None,
+):
+    """The governed run's policy prototype, by CLI name."""
+    if name == "static":
+        return StaticPolicy(PATHS_MAX)
+    if name == "aimd":
+        return AimdPolicy(
+            PATHS_MIN, PATHS_MAX, peak_frames_hint=peak_frames
+        )
+    if name == "snr":
+        return SnrAwarePolicy(
+            constellation, PATHS_MIN, PATHS_MAX, target_error_rate=0.05
+        )
+    raise ExperimentError(
+        f"unknown governor policy {name!r}; options: "
+        f"{', '.join(POLICY_NAMES)}"
+    )
+
+
+def run(
+    profile=None,
+    governor: str = "aimd",
+    workload: str = "bursty",
+    backend: str = "array",
+    cells: int = 2,
+) -> ExperimentResult:
+    """Governed vs ungoverned farm on one seeded traffic scenario.
+
+    ``governor`` picks the governed run's policy (``static`` / ``aimd``
+    / ``snr``), ``workload`` the scenario shape (see
+    :data:`repro.control.workload.SCENARIOS`); the ungoverned baseline
+    always runs alongside for the comparison.
+    """
+    profile = get_profile(profile)
+    if workload not in SCENARIOS:
+        raise ExperimentError(
+            f"unknown workload {workload!r}; options: {', '.join(SCENARIOS)}"
+        )
+    cells = max(1, int(cells))
+    # 8x8 16-QAM on the stacked tensor-walk backend: the path budget
+    # dominates the flush cost, giving the governor a wide dial.
+    system = MimoSystem(8, 8, QamConstellation(16))
+    noise_var = noise_variance_for_snr_db(SNR_DB)
+    rng = np.random.default_rng(profile.seed)
+    subcarriers = min(profile.subcarriers, 8)
+    slots = max(6, min(40, profile.packets_per_point))
+    cell_ids = tuple(f"cell{i}" for i in range(cells))
+    cell_channels = {
+        cell_id: rayleigh_channels(subcarriers, 8, 8, rng)
+        for cell_id in cell_ids
+    }
+    scenario = WorkloadScenario(
+        scenario=workload,
+        cells=cell_ids,
+        slots=slots,
+        subcarriers=subcarriers,
+        seed=profile.seed,
+    )
+
+    result = ExperimentResult(
+        experiment="farm",
+        title="AP-farm control plane: governed vs ungoverned under load",
+        profile=profile.name,
+        columns=[
+            "mode",
+            "policy",
+            "scenario",
+            "cells",
+            "frames_offered",
+            "frames_detected",
+            "frames_shed",
+            "hit_rate",
+            "flushes",
+            "mean_budget",
+        ],
+    )
+
+    detector = FlexCoreDetector(system, num_paths=PATHS_MAX)
+    with CellFarm(backend=backend) as farm:
+        for cell_id in cell_ids:
+            farm.add_cell(cell_id, detector)
+        slot_cost = calibrate_slot_cost(
+            farm, scenario, cell_channels, system, noise_var
+        )
+        slot_interval = OVERLOAD * slot_cost
+
+        runs = [
+            ("ungoverned", "-", None),
+            (
+                "governed",
+                governor,
+                ComputeGovernor(
+                    make_policy(
+                        governor,
+                        system.constellation,
+                        peak_frames=subcarriers * SYMBOLS_PER_SLOT,
+                    )
+                ),
+            ),
+        ]
+        for mode, policy_name, gov in runs:
+            outcome, telemetry = run_paced(
+                farm,
+                scenario,
+                cell_channels,
+                system,
+                noise_var,
+                slot_interval,
+                governor=gov,
+            )
+            if gov is None:
+                mean_budget = float(PATHS_MAX)
+            elif gov.telemetry.decisions:
+                budgets = [d.budget for d in gov.telemetry.decisions]
+                mean_budget = float(np.mean(budgets))
+            else:
+                # No control tick fired before the run ended: flushes
+                # ran at the lanes' current (initial) budgets.
+                lanes = gov.budgets().values()
+                mean_budget = (
+                    float(np.mean(list(lanes))) if lanes else float(
+                        gov.policy.initial_budget()
+                    )
+                )
+            result.add_row(
+                mode=mode,
+                policy=policy_name,
+                scenario=workload,
+                cells=cells,
+                frames_offered=outcome.frames_submitted,
+                frames_detected=outcome.frames_detected,
+                frames_shed=outcome.frames_shed,
+                hit_rate=telemetry.deadline_hit_rate,
+                flushes=telemetry.flushes,
+                mean_budget=mean_budget,
+            )
+            result.record_runtime(
+                f"scheduler_{mode}", telemetry.as_dict()
+            )
+            if gov is not None:
+                result.record_runtime("governor", gov.as_dict())
+
+    result.add_note(
+        f"slot interval calibrated to {OVERLOAD:g}x the warm full-budget "
+        f"slot cost ({slot_cost * 1e3:.1f} ms) — deliberate overload at "
+        f"peak demand; {cells} cells x {subcarriers} subcarriers x "
+        f"{SYMBOLS_PER_SLOT} symbols/slot on the {backend} backend"
+    )
+    result.add_note(
+        f"governed run: {governor} policy, paths in [{PATHS_MIN}, "
+        f"{PATHS_MAX}]; ungoverned runs fixed at {PATHS_MAX} paths"
+    )
+    return result

@@ -36,6 +36,7 @@ from repro.flexcore.detector import FlexCoreDetector
 from repro.link.throughput import user_phy_rate_bps
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
+from repro.runtime.scheduler import merge_scheduler_summaries
 
 #: (streams, constellation order) panels of Fig. 9.
 DEFAULT_PANELS = ((8, 16), (8, 64), (12, 16), (12, 64))
@@ -89,6 +90,7 @@ def run(
             "throughput_mbps",
         ],
     )
+    scheduler_totals = None
     for num_streams, order in panels:
         system = MimoSystem(num_streams, num_streams, QamConstellation(order))
         config = make_link_config(system, profile)
@@ -114,10 +116,11 @@ def run(
             # engine per detector keeps prepared contexts hot across the
             # packets of its run (the trace sampler cycles frames).
             def measure(detector, seed_offset: int):
+                nonlocal scheduler_totals
                 with make_engine(
                     detector, backend, streaming=streaming, cells=cells
                 ) as engine:
-                    return run_point(
+                    link = run_point(
                         config,
                         detector,
                         snr_db,
@@ -126,6 +129,12 @@ def run(
                         seed_offset,
                         engine=engine,
                     )
+                summary = link.metadata.get("runtime", {}).get("scheduler")
+                if summary is not None:
+                    scheduler_totals = merge_scheduler_summaries(
+                        scheduler_totals, summary
+                    )
+                return link
 
             # ML bound: by construction of the calibration.
             ml_link = measure(ml_reference_detector(system, profile), 1)
@@ -165,4 +174,8 @@ def run(
             "ML reference approximated by large-path FlexCore "
             f"({profile.ml_proxy_paths} paths); exact in the full profile"
         )
+    if scheduler_totals is not None:
+        # The streaming runtime's own story: saved with the JSON report
+        # instead of being discarded with the engines.
+        result.record_runtime("scheduler", scheduler_totals)
     return result

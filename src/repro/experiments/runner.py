@@ -16,10 +16,13 @@ import sys
 import time
 from pathlib import Path
 
+from repro.control import POLICY_NAMES
+from repro.control.workload import SCENARIOS
 from repro.errors import ExperimentError
 from repro.experiments import get_profile
 from repro.experiments import (
     ablations,
+    farm,
     soft_gain,
     fig9,
     fig10,
@@ -44,7 +47,11 @@ EXPERIMENTS = {
     "fig14": fig14.run,
     "ablations": ablations.run,
     "soft_gain": soft_gain.run,
+    "farm": farm.run,
 }
+
+#: Governor policies the ``--governor`` flag may request.
+GOVERNOR_POLICIES = POLICY_NAMES
 
 
 def main(argv=None) -> int:
@@ -85,14 +92,28 @@ def main(argv=None) -> int:
         "--cells",
         type=int,
         default=None,
-        help="shard streaming detection across N cells with per-cell "
-        "context caches (implies --streaming when > 1)",
+        help="shard detection across N cells with per-cell context "
+        "caches (implies --streaming when > 1, for experiments that "
+        "take a `streaming` parameter)",
+    )
+    parser.add_argument(
+        "--governor",
+        choices=GOVERNOR_POLICIES,
+        default=None,
+        help="attach the adaptive control plane with this path-budget "
+        "policy (experiments that take a `governor` parameter, e.g. "
+        "`farm`)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=SCENARIOS,
+        default=None,
+        help="traffic scenario shape for control-plane experiments "
+        "(experiments that take a `workload` parameter, e.g. `farm`)",
     )
     args = parser.parse_args(argv)
     if args.cells is not None and args.cells < 1:
         parser.error("--cells must be >= 1")
-    if args.cells is not None and args.cells > 1:
-        args.streaming = True
 
     if not args.all and not args.experiment:
         parser.error("choose --experiment NAME or --all")
@@ -108,13 +129,31 @@ def main(argv=None) -> int:
         requested["backend"] = args.backend
     if args.streaming:
         requested["streaming"] = True
-        requested["cells"] = args.cells or 1
+    if args.cells is not None:
+        requested["cells"] = args.cells
+    elif args.streaming:
+        requested["cells"] = 1
+    if args.governor is not None:
+        requested["governor"] = args.governor
+    if args.workload is not None:
+        requested["workload"] = args.workload
     for name in names:
         started = time.perf_counter()
         entry = EXPERIMENTS[name]
         parameters = inspect.signature(entry).parameters
+        per_experiment = dict(requested)
+        # --cells N (> 1) implies streaming, but only for experiments
+        # that actually route through the streaming engine — the farm
+        # experiment takes cells without a streaming switch, and must
+        # not be told its flags were ignored.
+        if (
+            (args.cells or 0) > 1
+            and "streaming" in parameters
+            and "streaming" not in per_experiment
+        ):
+            per_experiment["streaming"] = True
         kwargs = {}
-        for key, value in requested.items():
+        for key, value in per_experiment.items():
             if key in parameters:
                 kwargs[key] = value
             else:

@@ -24,6 +24,7 @@ from repro.link.config import LinkConfig
 from repro.link.throughput import network_throughput_bps
 from repro.mimo.model import apply_channel, noise_variance_for_snr_db
 from repro.runtime.engine import BatchedUplinkEngine
+from repro.runtime.scheduler import merge_scheduler_summaries
 from repro.utils.flops import NULL_COUNTER, FlopCounter
 from repro.utils.rng import as_rng
 
@@ -184,6 +185,7 @@ def simulate_link(
     active_paths_samples = 0
     contexts_prepared = 0
     context_cache_hits = 0
+    scheduler_summary = None
 
     for packet in range(num_packets):
         channels = np.asarray(channel_sampler(packet, generator))
@@ -238,8 +240,20 @@ def simulate_link(
             if "active_paths" in sc_metadata:
                 active_paths_sum += sc_metadata["active_paths"]
                 active_paths_samples += 1
-        contexts_prepared += batch.stats["contexts_prepared"]
-        context_cache_hits += batch.stats["cache_hits"]
+        # The batch's cache movement: one CacheStats snapshot from the
+        # batch engine, a {cell_id: CacheStats} mapping from a farm.
+        cache_delta = batch.stats["cache"]
+        if isinstance(cache_delta, dict):
+            contexts_prepared += sum(d.misses for d in cache_delta.values())
+            context_cache_hits += sum(d.hits for d in cache_delta.values())
+        else:
+            contexts_prepared += cache_delta.misses
+            context_cache_hits += cache_delta.hits
+        batch_scheduler = batch.stats.get("scheduler")
+        if batch_scheduler is not None:
+            scheduler_summary = merge_scheduler_summaries(
+                scheduler_summary, batch_scheduler
+            )
         vector_errors += int(
             np.count_nonzero((rx_indices != tx_indices).any(axis=2))
         )
@@ -282,6 +296,11 @@ def simulate_link(
             "context_cache_hits": context_cache_hits,
         }
     }
+    if scheduler_summary is not None:
+        # Streaming engines report their slot-deadline telemetry per
+        # batch; surface the run's accumulated summary instead of
+        # discarding it (hit-rate, latencies, flush count).
+        metadata["runtime"]["scheduler"] = scheduler_summary
     if active_paths_samples:
         metadata["average_active_paths"] = (
             active_paths_sum / active_paths_samples

@@ -36,7 +36,11 @@ from repro.runtime.backends import (
     available_backends,
     make_backend,
 )
-from repro.runtime.batch import BatchDetectionResult, UplinkBatch
+from repro.runtime.batch import (
+    BatchDetectionResult,
+    RuntimeStats,
+    UplinkBatch,
+)
 from repro.runtime.cache import CacheStats, ContextCache, context_key
 from repro.runtime.cells import (
     Cell,
@@ -52,8 +56,9 @@ from repro.runtime.scheduler import (
     MicroBatcher,
     SchedulerTelemetry,
     StreamingScheduler,
+    merge_scheduler_summaries,
 )
-from repro.runtime.service import DetectionService
+from repro.runtime.service import DetectionService, clamp_context_paths
 from repro.runtime.xp import (
     ARRAY_BACKEND_ENV,
     ArrayModule,
@@ -79,6 +84,7 @@ __all__ = [
     "FrameDetection",
     "MicroBatcher",
     "ProcessPoolBackend",
+    "RuntimeStats",
     "SchedulerTelemetry",
     "SerialBackend",
     "StreamingScheduler",
@@ -86,7 +92,9 @@ __all__ = [
     "UplinkBatch",
     "available_array_modules",
     "available_backends",
+    "clamp_context_paths",
     "context_key",
     "make_backend",
+    "merge_scheduler_summaries",
     "resolve_array_module",
 ]

@@ -27,14 +27,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.detectors.base import Detector
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LoadShedError
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
-from repro.runtime.batch import BatchDetectionResult, UplinkBatch
+from repro.runtime.batch import (
+    BatchDetectionResult,
+    RuntimeStats,
+    UplinkBatch,
+)
 from repro.runtime.cache import CacheStats, ContextCache
 from repro.runtime.scheduler import (
     FrameArrival,
     FlushRecord,
     StreamingScheduler,
+    merge_scheduler_summaries,
 )
 from repro.runtime.service import DetectionService, supports_soft
 from repro.utils.flops import NULL_COUNTER, FlopCounter
@@ -50,6 +55,8 @@ class CellStats:
     frames_late: int = 0
     contexts_prepared: int = 0
     cache_hits: int = 0
+    #: Frames refused by the control plane's admission control.
+    frames_shed: int = 0
 
     def account(
         self,
@@ -201,6 +208,7 @@ class StreamingUplinkEngine:
         batch_target: "int | None" = None,
         slot_budget_s: float = float("inf"),
         max_cache_entries: int = 1024,
+        governor=None,
     ):
         if cells < 1:
             raise ConfigurationError("cells must be >= 1")
@@ -213,10 +221,19 @@ class StreamingUplinkEngine:
         self.num_cells = int(cells)
         self.batch_target = batch_target
         self.slot_budget_s = slot_budget_s
+        #: Optional :class:`~repro.control.governor.ComputeGovernor`
+        #: attached to every scheduler this engine spins up; persists
+        #: across ``detect_batch`` calls so control state (AIMD budgets,
+        #: shed flags) carries over a sweep.
+        self.governor = governor
         #: Telemetry of the most recent ``detect_batch`` call (long
         #: sweeps make thousands of calls — only the last is retained;
         #: cumulative accounting lives in the per-cell ``CellStats``).
         self.last_telemetry = None
+        #: Cumulative scheduler summary over every ``detect_batch`` of
+        #: this engine's lifetime (mergeable counters; see
+        #: :func:`~repro.runtime.scheduler.merge_scheduler_summaries`).
+        self.scheduler_summary: "dict | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -280,6 +297,7 @@ class StreamingUplinkEngine:
             slot_budget_s=self.slot_budget_s,
             use_soft=use_soft,
             counter=counter,
+            governor=self.governor,
         ) as scheduler:
             futures = []
             for sc in range(batch.num_subcarriers):
@@ -291,9 +309,37 @@ class StreamingUplinkEngine:
                 )
                 futures.append(await scheduler.submit(arrival))
             await scheduler.flush()
-            detections = [await future for future in futures]
+            # Await every future before raising anything: a mid-loop
+            # raise would abandon the rest ("exception was never
+            # retrieved") and lose the telemetry of work already done.
+            detections = await asyncio.gather(
+                *futures, return_exceptions=True
+            )
             telemetry = scheduler.telemetry
+        # Record the accounting of whatever work completed *before*
+        # raising anything — error paths must not lose telemetry.
         self.last_telemetry = telemetry
+        self.scheduler_summary = merge_scheduler_summaries(
+            self.scheduler_summary, telemetry.as_dict()
+        )
+        shed = sum(
+            1 for d in detections if isinstance(d, LoadShedError)
+        )
+        for detection in detections:
+            if isinstance(detection, BaseException) and not isinstance(
+                detection, LoadShedError
+            ):
+                raise detection
+        if shed:
+            # detect_batch promises a full (S, F, Nt) result; admission
+            # control punched holes in it, so the batch as a whole is
+            # refused — with the accounting intact.
+            raise LoadShedError(
+                f"admission control shed {shed} of {len(futures)} "
+                "subcarrier arrivals of this batch; the batch adapter "
+                "cannot return a partial block (detach the governor or "
+                "raise its floor budget for offline replay)"
+            )
         indices = np.stack([d.indices for d in detections])
         llrs = (
             np.stack([d.llrs for d in detections]) if use_soft else None
@@ -302,21 +348,24 @@ class StreamingUplinkEngine:
             cell_id: after.since(cache_before[cell_id])
             for cell_id, after in self.farm.cache_stats().items()
         }
-        stats = {
-            "backend": self.backend.name,
-            "streaming": True,
-            "cells": self.num_cells,
-            "subcarriers": batch.num_subcarriers,
-            "frames": batch.num_frames,
-            "scheduler": telemetry.as_dict(),
-            # Per-cell cache snapshot, plus the aggregate deprecated
-            # aliases the batch engine has always exposed.
-            "cache": cache_delta,
-            "cache_hits": sum(d.hits for d in cache_delta.values()),
-            "contexts_prepared": sum(
-                d.misses for d in cache_delta.values()
-            ),
-        }
+        stats = RuntimeStats(
+            {
+                "backend": self.backend.name,
+                "streaming": True,
+                "cells": self.num_cells,
+                "subcarriers": batch.num_subcarriers,
+                "frames": batch.num_frames,
+                "scheduler": telemetry.as_dict(),
+                # Per-cell cache snapshot, plus the aggregate deprecated
+                # aliases the batch engine has always exposed (reading
+                # them warns; see RuntimeStats).
+                "cache": cache_delta,
+                "cache_hits": sum(d.hits for d in cache_delta.values()),
+                "contexts_prepared": sum(
+                    d.misses for d in cache_delta.values()
+                ),
+            }
+        )
         return BatchDetectionResult(
             indices=indices,
             llrs=llrs,

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LoadShedError
 from repro.ofdm.lte import SLOT_DURATION_S, SYMBOLS_PER_SLOT, slot_deadline
 from repro.runtime.batch import UplinkBatch
 from repro.runtime.cache import context_key
@@ -144,12 +144,15 @@ class SchedulerTelemetry:
     frames_detected: int = 0
     frames_on_time: int = 0
     frames_late: int = 0
+    frames_shed: int = 0
     flushes: int = 0
     groups_flushed: int = 0
     flush_reasons: dict = field(default_factory=dict)
     records: list = field(default_factory=list)
     max_records: int = 4096
     records_dropped: int = 0
+    latency_sum_s: float = 0.0
+    max_latency_s: float = 0.0
 
     def record(
         self,
@@ -174,6 +177,8 @@ class SchedulerTelemetry:
         self.flush_reasons[record.reason] = (
             self.flush_reasons.get(record.reason, 0) + 1
         )
+        self.latency_sum_s += record.latency_s
+        self.max_latency_s = max(self.max_latency_s, record.latency_s)
         if len(self.records) < self.max_records:
             self.records.append(record)
         else:
@@ -186,8 +191,9 @@ class SchedulerTelemetry:
         return self.frames_on_time / total if total else 1.0
 
     @property
-    def max_latency_s(self) -> float:
-        return max((r.latency_s for r in self.records), default=0.0)
+    def mean_latency_s(self) -> float:
+        """Mean flush latency (oldest arrival to completion)."""
+        return self.latency_sum_s / self.flushes if self.flushes else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -195,13 +201,66 @@ class SchedulerTelemetry:
             "frames_detected": self.frames_detected,
             "frames_on_time": self.frames_on_time,
             "frames_late": self.frames_late,
+            "frames_shed": self.frames_shed,
             "flushes": self.flushes,
             "groups_flushed": self.groups_flushed,
             "flush_reasons": dict(self.flush_reasons),
             "deadline_hit_rate": self.deadline_hit_rate,
+            "mean_latency_s": self.mean_latency_s,
             "max_latency_s": self.max_latency_s,
+            "latency_sum_s": self.latency_sum_s,
             "records_dropped": self.records_dropped,
         }
+
+
+def merge_scheduler_summaries(
+    accumulated: "dict | None", summary: dict
+) -> dict:
+    """Fold one :meth:`SchedulerTelemetry.as_dict` summary into a total.
+
+    Long runs (a link sweep, a multi-batch experiment) spin up many
+    scheduler instances; this merges their summaries into one — counters
+    add, latency maxima max, and the derived rates are recomputed from
+    the merged counters.  Pass ``accumulated=None`` to start.
+    """
+    counters = (
+        "frames_submitted",
+        "frames_detected",
+        "frames_on_time",
+        "frames_late",
+        "frames_shed",
+        "flushes",
+        "groups_flushed",
+        "records_dropped",
+        "latency_sum_s",
+    )
+    if accumulated is None:
+        merged = {key: summary.get(key, 0) for key in counters}
+        merged["flush_reasons"] = dict(summary.get("flush_reasons", {}))
+        merged["max_latency_s"] = summary.get("max_latency_s", 0.0)
+    else:
+        merged = dict(accumulated)
+        for key in counters:
+            merged[key] = merged.get(key, 0) + summary.get(key, 0)
+        reasons = dict(merged.get("flush_reasons", {}))
+        for reason, count in summary.get("flush_reasons", {}).items():
+            reasons[reason] = reasons.get(reason, 0) + count
+        merged["flush_reasons"] = reasons
+        merged["max_latency_s"] = max(
+            merged.get("max_latency_s", 0.0),
+            summary.get("max_latency_s", 0.0),
+        )
+    on_time = merged["frames_on_time"]
+    late = merged["frames_late"]
+    merged["deadline_hit_rate"] = (
+        on_time / (on_time + late) if on_time + late else 1.0
+    )
+    merged["mean_latency_s"] = (
+        merged["latency_sum_s"] / merged["flushes"]
+        if merged["flushes"]
+        else 0.0
+    )
+    return merged
 
 
 @dataclass
@@ -357,6 +416,15 @@ class StreamingScheduler:
         Detect every flush softly (cells' detectors must support it).
     counter:
         FLOP counter charged by every flush.
+    governor:
+        Optional control plane, duck-typed to
+        :class:`~repro.control.governor.ComputeGovernor`: consulted for
+        the per-cell path budget before every flush
+        (``path_budget(cell_id)``), for admission on every arrival
+        (``admit(cell_id, frames, now)`` — a refusal fails the
+        arrival's future with :class:`~repro.errors.LoadShedError`),
+        fed every flush (``observe_flush``) and offered a control tick
+        (``maybe_tick(now)``) once per service loop.
     clock:
         Monotonic time source; injectable for tests.
 
@@ -379,6 +447,7 @@ class StreamingScheduler:
         flush_margin_s: float = 0.0,
         use_soft: bool = False,
         counter: FlopCounter = NULL_COUNTER,
+        governor=None,
         clock=time.monotonic,
     ):
         self.cells = self._normalise_cells(cells)
@@ -395,6 +464,16 @@ class StreamingScheduler:
         )
         self.use_soft = bool(use_soft)
         self.counter = counter
+        self.governor = governor
+        if governor is not None:
+            # Bind the deadline frame of reference the governor's
+            # observations are judged against (operator-preconfigured
+            # values are respected; see ComputeGovernor.bind_slot_budget).
+            bind = getattr(governor, "bind_slot_budget", None)
+            if callable(bind):
+                bind(self.batcher.slot_budget_s)
+            elif getattr(governor, "slot_budget_s", False) is None:
+                governor.slot_budget_s = self.batcher.slot_budget_s
         self.clock = clock
         self.telemetry = SchedulerTelemetry()
         self._queue: "asyncio.Queue | None" = None
@@ -571,6 +650,11 @@ class StreamingScheduler:
             for kind, payload in items:
                 if kind == "arrival":
                     arrival, future = payload
+                    if self.governor is not None and not self.governor.admit(
+                        arrival.cell, arrival.num_frames, self.clock()
+                    ):
+                        self._shed(arrival, future)
+                        continue
                     group = self.batcher.add(arrival, future, self.clock())
                     if group is not None:
                         ready.append(group)
@@ -582,9 +666,25 @@ class StreamingScheduler:
             if controls:
                 ready.extend(self.batcher.drain())
             self._dispatch(ready)
+            if self.governor is not None:
+                self.governor.maybe_tick(self.clock())
             for _, done in controls:
                 if not done.done():
                     done.set_result(None)
+
+    def _shed(self, arrival: FrameArrival, future) -> None:
+        """Refuse one arrival on the governor's admission verdict."""
+        self.telemetry.frames_shed += arrival.num_frames
+        stats = getattr(self.cells[arrival.cell], "stats", None)
+        if stats is not None:
+            stats.frames_shed += arrival.num_frames
+        if not future.done():
+            future.set_exception(
+                LoadShedError(
+                    f"cell {arrival.cell!r} is shedding load: the floor "
+                    "path budget cannot meet the slot deadline"
+                )
+            )
 
     # ------------------------------------------------------------------
     def _dispatch(self, groups: list) -> None:
@@ -615,6 +715,11 @@ class StreamingScheduler:
             buckets.setdefault(
                 (group.noise_var, group.frames, group.reason), []
             ).append(group)
+        path_budget = (
+            self.governor.path_budget(cell.cell_id)
+            if self.governor is not None
+            else None
+        )
         for (noise_var, _frames, _reason), bucket in buckets.items():
             batch = UplinkBatch(
                 channels=np.stack([g.channel for g in bucket]),
@@ -629,6 +734,7 @@ class StreamingScheduler:
                     cache=cell.cache,
                     counter=self.counter,
                     use_soft=self.use_soft,
+                    max_paths=path_budget,
                 )
             except Exception as error:  # resolve futures, keep serving
                 for group in bucket:
@@ -653,6 +759,14 @@ class StreamingScheduler:
             self.telemetry.record(
                 record, groups=len(bucket), frames_on_time=frames_on_time
             )
+            if self.governor is not None:
+                self.governor.observe_flush(
+                    cell.cell_id,
+                    record,
+                    frames_on_time=frames_on_time,
+                    channel=bucket[0].channel,
+                    noise_var=noise_var,
+                )
             stats = getattr(cell, "stats", None)
             if stats is not None:
                 stats.account(record, result.stats["cache"], frames_on_time)

@@ -21,6 +21,8 @@ subcarriers in flight (§5.2).
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.errors import ConfigurationError, LinkSimulationError
@@ -30,9 +32,32 @@ from repro.runtime.backends import (
     SerialBackend,
     make_backend,
 )
-from repro.runtime.batch import BatchDetectionResult, UplinkBatch
+from repro.runtime.batch import (
+    BatchDetectionResult,
+    RuntimeStats,
+    UplinkBatch,
+)
 from repro.runtime.cache import CacheStats, ContextCache
 from repro.utils.flops import NULL_COUNTER, FlopCounter
+
+
+def clamp_context_paths(context, max_paths: "int | None"):
+    """Apply a per-call path budget to one prepared context.
+
+    Contexts that carry an ``active_paths`` dial (FlexCore's) are
+    shallow-copied with the dial clamped to ``max_paths`` — the cached
+    original is never mutated, so the budget is genuinely per call.
+    Budget-less contexts (linear detectors and friends) pass through
+    untouched: the budget dial simply does not apply to them.
+    """
+    if max_paths is None:
+        return context
+    active = getattr(context, "active_paths", None)
+    if active is None or active <= max_paths:
+        return context
+    clamped = copy.copy(context)
+    clamped.active_paths = int(max_paths)
+    return clamped
 
 
 def _detect_block(
@@ -43,12 +68,14 @@ def _detect_block(
     contexts: "list | None",
     counter: FlopCounter,
     use_soft: bool,
+    max_paths: "int | None" = None,
 ) -> tuple[np.ndarray, np.ndarray | None, list]:
     """Detect a ``(s, F, Nr)`` block, one context per subcarrier.
 
     ``contexts`` supplies pre-prepared channel contexts (the cached
     path); ``None`` means prepare inline, once per subcarrier with no
-    deduplication — the honest uncached baseline.
+    deduplication — the honest uncached baseline.  ``max_paths`` is the
+    optional per-call path budget (see :func:`clamp_context_paths`).
     """
     num_sc, num_frames, _ = received.shape
     num_streams = detector.system.num_streams
@@ -65,6 +92,7 @@ def _detect_block(
             )
         else:
             context = contexts[sc]
+        context = clamp_context_paths(context, max_paths)
         if use_soft:
             result = detector.detect_soft_prepared(
                 context, received[sc], noise_var, counter=counter
@@ -97,10 +125,18 @@ def _run_shard(payload) -> tuple:
         use_soft,
         count_flops,
         contexts,
+        max_paths,
     ) = payload
     counter = FlopCounter() if count_flops else NULL_COUNTER
     indices, llrs, metadata = _detect_block(
-        detector, channels, received, noise_var, contexts, counter, use_soft
+        detector,
+        channels,
+        received,
+        noise_var,
+        contexts,
+        counter,
+        use_soft,
+        max_paths,
     )
     flops = (
         (
@@ -162,6 +198,7 @@ class DetectionService:
         cache: "ContextCache | None" = None,
         counter: FlopCounter = NULL_COUNTER,
         use_soft: bool = False,
+        max_paths: "int | None" = None,
     ) -> BatchDetectionResult:
         """Detect one :class:`~repro.runtime.batch.UplinkBatch`.
 
@@ -169,19 +206,33 @@ class DetectionService:
         ``None`` disables caching, preparing once per subcarrier with no
         deduplication — the naive baseline the runtime benchmark
         measures against.
+
+        ``max_paths`` is the control plane's per-call path budget: every
+        context carrying an ``active_paths`` dial is clamped to it for
+        this call only (cached contexts stay untouched).  ``None`` — the
+        default, and the ungoverned behaviour — runs every context at
+        its prepared path count.
         """
         self._check_batch(detector, batch)
+        if max_paths is not None and max_paths < 1:
+            raise ConfigurationError(
+                f"max_paths must be >= 1, got {max_paths}"
+            )
         if use_soft and not supports_soft(detector):
             raise LinkSimulationError(
                 f"{detector.name} does not produce soft output"
             )
         if isinstance(self.backend, ArrayBackend):
-            return self._detect_array(detector, batch, cache, counter, use_soft)
+            return self._detect_array(
+                detector, batch, cache, counter, use_soft, max_paths
+            )
         if isinstance(self.backend, SerialBackend):
             return self._detect_serial(
-                detector, batch, cache, counter, use_soft
+                detector, batch, cache, counter, use_soft, max_paths
             )
-        return self._detect_sharded(detector, batch, cache, counter, use_soft)
+        return self._detect_sharded(
+            detector, batch, cache, counter, use_soft, max_paths
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -249,17 +300,23 @@ class DetectionService:
         return contexts, cache.stats.since(before)
 
     @staticmethod
-    def _stats(base: dict, delta: CacheStats) -> dict:
+    def _stats(
+        base: dict, delta: CacheStats, max_paths: "int | None" = None
+    ) -> RuntimeStats:
         """Assemble per-batch stats around one cache snapshot.
 
         ``cache_hits`` and ``contexts_prepared`` are deprecated aliases
-        of ``stats["cache"].hits`` / ``stats["cache"].misses`` kept for
-        one release; new code should read the ``"cache"`` snapshot.
+        of ``stats["cache"].hits`` / ``stats["cache"].misses``; reading
+        them through the returned :class:`RuntimeStats` mapping emits a
+        :class:`DeprecationWarning`.  New code reads the ``"cache"``
+        snapshot.
         """
         base["cache"] = delta
         base["cache_hits"] = delta.hits
         base["contexts_prepared"] = delta.misses
-        return base
+        if max_paths is not None:
+            base["path_budget"] = int(max_paths)
+        return RuntimeStats(base)
 
     # ------------------------------------------------------------------
     def _detect_array(
@@ -269,6 +326,7 @@ class DetectionService:
         cache: "ContextCache | None",
         counter: FlopCounter,
         use_soft: bool,
+        max_paths: "int | None" = None,
     ) -> BatchDetectionResult:
         """Stacked tensor-walk path: the whole block in a few array ops.
 
@@ -280,6 +338,11 @@ class DetectionService:
         contexts, delta = self._prepare_contexts_block(
             detector, batch, cache, counter
         )
+        if max_paths is not None:
+            contexts = [
+                clamp_context_paths(context, max_paths)
+                for context in contexts
+            ]
         stacked = detector.has_block_kernel and (
             not use_soft
             or callable(getattr(detector, "detect_soft_block_prepared", None))
@@ -325,6 +388,7 @@ class DetectionService:
                     "frames": batch.num_frames,
                 },
                 delta,
+                max_paths,
             ),
         )
 
@@ -335,6 +399,7 @@ class DetectionService:
         cache: "ContextCache | None",
         counter: FlopCounter,
         use_soft: bool,
+        max_paths: "int | None" = None,
     ) -> BatchDetectionResult:
         contexts, delta = self._prepare_contexts(
             detector, batch, cache, counter
@@ -347,6 +412,7 @@ class DetectionService:
             contexts,
             counter,
             use_soft,
+            max_paths,
         )
         return BatchDetectionResult(
             indices=indices,
@@ -360,6 +426,7 @@ class DetectionService:
                     "frames": batch.num_frames,
                 },
                 delta,
+                max_paths,
             ),
         )
 
@@ -370,6 +437,7 @@ class DetectionService:
         cache: "ContextCache | None",
         counter: FlopCounter,
         use_soft: bool,
+        max_paths: "int | None" = None,
     ) -> BatchDetectionResult:
         # Contexts are prepared in the parent through the caller's
         # persistent cache (so cross-call coherence amortisation survives
@@ -392,6 +460,7 @@ class DetectionService:
                     use_soft,
                     count_flops,
                     contexts[start:stop] if contexts is not None else None,
+                    max_paths,
                 )
             )
             start = stop
@@ -421,5 +490,6 @@ class DetectionService:
                     "frames": batch.num_frames,
                 },
                 delta,
+                max_paths,
             ),
         )

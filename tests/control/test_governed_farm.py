@@ -1,0 +1,264 @@
+"""Integration: the control plane attached to the streaming runtime.
+
+The safety property that makes the governor deployable — a static
+policy at the detector's own path count is *bit-identical* to the
+ungoverned streaming path — plus the budget dial's correctness across
+backends and the load-shedding path end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import rayleigh_channels
+from repro.control import AimdPolicy, ComputeGovernor, StaticPolicy
+from repro.detectors.linear import MmseDetector
+from repro.errors import ConfigurationError, LoadShedError
+from repro.flexcore.detector import FlexCoreDetector
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.modulation.mapper import random_symbol_indices
+from repro.runtime import (
+    Cell,
+    ContextCache,
+    DetectionService,
+    FrameArrival,
+    StreamingScheduler,
+    StreamingUplinkEngine,
+    UplinkBatch,
+)
+
+
+@pytest.fixture
+def system():
+    return MimoSystem(4, 4, QamConstellation(16))
+
+
+@pytest.fixture
+def uplink(system):
+    rng = np.random.default_rng(42)
+    num_sc, num_frames = 6, 5
+    channels = rayleigh_channels(num_sc, 4, 4, rng)
+    noise_var = noise_variance_for_snr_db(16.0)
+    received = np.empty((num_sc, num_frames, 4), dtype=np.complex128)
+    for sc in range(num_sc):
+        indices = random_symbol_indices(
+            num_frames, 4, system.constellation, rng
+        )
+        received[sc] = apply_channel(
+            channels[sc],
+            system.constellation.points[indices],
+            noise_var,
+            rng,
+        )
+    return channels, received, noise_var
+
+
+class TestStaticEquivalence:
+    def test_static_policy_is_bit_identical_to_ungoverned(
+        self, system, uplink
+    ):
+        channels, received, noise_var = uplink
+        detector = FlexCoreDetector(system, num_paths=16)
+        governor = ComputeGovernor(StaticPolicy(16))
+        with StreamingUplinkEngine(detector, cells=2) as plain, \
+                StreamingUplinkEngine(
+                    detector, cells=2, governor=governor
+                ) as governed:
+            reference = plain.detect_batch(channels, received, noise_var)
+            result = governed.detect_batch(channels, received, noise_var)
+        assert np.array_equal(result.indices, reference.indices)
+        assert result.stats["scheduler"]["frames_shed"] == 0
+
+    def test_static_policy_soft_path_bit_identical(self, system, uplink):
+        from repro.flexcore.soft import SoftFlexCoreDetector
+
+        channels, received, noise_var = uplink
+        detector = SoftFlexCoreDetector(system, num_paths=16)
+        governor = ComputeGovernor(StaticPolicy(16))
+        with StreamingUplinkEngine(detector, cells=2) as plain, \
+                StreamingUplinkEngine(
+                    detector, cells=2, governor=governor
+                ) as governed:
+            reference = plain.detect_batch(
+                channels, received, noise_var, use_soft=True
+            )
+            result = governed.detect_batch(
+                channels, received, noise_var, use_soft=True
+            )
+        assert np.array_equal(result.indices, reference.indices)
+        assert np.array_equal(result.llrs, reference.llrs)
+
+
+class TestBudgetDial:
+    def test_clamped_budget_equals_smaller_detector(self, system, uplink):
+        """Budget B on an N-path context == a num_paths=B detector.
+
+        The pre-processing search is sequential best-first, so its first
+        B expansions are the same whether it stops at B or at N > B.
+        """
+        channels, received, noise_var = uplink
+        big = FlexCoreDetector(system, num_paths=32)
+        small = FlexCoreDetector(system, num_paths=8)
+        service = DetectionService()
+        batch = UplinkBatch(
+            channels=channels, received=received, noise_var=noise_var
+        )
+        clamped = service.detect(big, batch, max_paths=8)
+        reference = service.detect(small, batch)
+        assert np.array_equal(clamped.indices, reference.indices)
+        assert clamped.stats["path_budget"] == 8
+
+    @pytest.mark.parametrize("backend", ["serial", "array"])
+    def test_budget_consistent_across_backends(
+        self, system, uplink, backend
+    ):
+        channels, received, noise_var = uplink
+        detector = FlexCoreDetector(system, num_paths=32)
+        serial = DetectionService("serial")
+        other = DetectionService(backend)
+        batch = UplinkBatch(
+            channels=channels, received=received, noise_var=noise_var
+        )
+        expected = serial.detect(
+            detector, batch, cache=ContextCache(), max_paths=4
+        )
+        result = other.detect(
+            detector, batch, cache=ContextCache(), max_paths=4
+        )
+        assert np.array_equal(result.indices, expected.indices)
+        other.close()
+        serial.close()
+
+    def test_cached_context_is_not_mutated_by_clamp(self, system, uplink):
+        channels, received, noise_var = uplink
+        detector = FlexCoreDetector(system, num_paths=16)
+        service = DetectionService()
+        cache = ContextCache()
+        batch = UplinkBatch(
+            channels=channels, received=received, noise_var=noise_var
+        )
+        service.detect(detector, batch, cache=cache, max_paths=2)
+        # A later uncapped call through the same cache must run at the
+        # full prepared width again.
+        full = service.detect(detector, batch, cache=cache)
+        reference = service.detect(detector, batch, cache=None)
+        assert np.array_equal(full.indices, reference.indices)
+        assert full.per_subcarrier_metadata[0]["paths"] == 16
+
+    def test_budgetless_detector_passes_through(self, system, uplink):
+        channels, received, noise_var = uplink
+        detector = MmseDetector(system)
+        service = DetectionService()
+        batch = UplinkBatch(
+            channels=channels, received=received, noise_var=noise_var
+        )
+        capped = service.detect(detector, batch, max_paths=1)
+        plain = service.detect(detector, batch)
+        assert np.array_equal(capped.indices, plain.indices)
+
+    def test_invalid_budget_rejected(self, system, uplink):
+        channels, received, noise_var = uplink
+        batch = UplinkBatch(
+            channels=channels, received=received, noise_var=noise_var
+        )
+        with pytest.raises(ConfigurationError, match="max_paths"):
+            DetectionService().detect(
+                FlexCoreDetector(system, num_paths=4), batch, max_paths=0
+            )
+
+
+class TestLoadShedding:
+    def test_shedding_fails_futures_and_counts_frames(self, system):
+        """A governor stuck at a floor that cannot meet an impossible
+        deadline must shed follow-up arrivals with LoadShedError."""
+        rng = np.random.default_rng(3)
+        detector = FlexCoreDetector(system, num_paths=4)
+        cell = Cell("cell0", detector)
+        governor = ComputeGovernor(
+            AimdPolicy(4, 4),  # floor == ceiling: no dial left
+            control_interval_s=0.0,
+            shed_below=0.5,
+        )
+        channel = rayleigh_channels(1, 4, 4, rng)[0]
+        received = rng.standard_normal((7, 4)) + 0j
+
+        async def drive():
+            shed = 0
+            detected = 0
+            async with StreamingScheduler(
+                cell,
+                batch_target=7,
+                slot_budget_s=1e-7,  # every flush is necessarily late
+                governor=governor,
+            ) as scheduler:
+                for _ in range(6):
+                    future = await scheduler.submit(
+                        FrameArrival(
+                            channel=channel,
+                            received=received,
+                            noise_var=0.05,
+                        )
+                    )
+                    await scheduler.flush()
+                    try:
+                        await future
+                        detected += 1
+                    except LoadShedError:
+                        shed += 1
+                telemetry = scheduler.telemetry
+            return shed, detected, telemetry
+
+        shed, detected, telemetry = asyncio.run(drive())
+        assert shed > 0
+        assert detected > 0  # resume-probe windows let traffic through
+        assert telemetry.frames_shed == shed * 7
+        assert cell.stats.frames_shed == shed * 7
+        assert governor.telemetry.sheds_started >= 1
+
+    def test_batch_adapter_refuses_partially_shed_batch(
+        self, system, uplink
+    ):
+        """The batch adapter awaits every future, then refuses the
+        whole batch with one aggregate LoadShedError — no abandoned
+        futures, telemetry intact."""
+        channels, received, noise_var = uplink
+        detector = FlexCoreDetector(system, num_paths=4)
+        governor = ComputeGovernor(
+            AimdPolicy(4, 4),  # floor-locked: shedding is the only dial
+            control_interval_s=0.0,
+            shed_below=0.5,
+        )
+        with StreamingUplinkEngine(
+            detector,
+            cells=1,
+            governor=governor,
+            slot_budget_s=1e-7,  # every flush necessarily late
+        ) as engine:
+            with pytest.raises(LoadShedError, match="shed"):
+                engine.detect_batch(channels, received, noise_var)
+                engine.detect_batch(channels, received, noise_var)
+            assert engine.scheduler_summary is not None
+            assert governor.telemetry.sheds_started >= 1
+
+    def test_governed_farm_survives_and_reports_summary(
+        self, system, uplink
+    ):
+        channels, received, noise_var = uplink
+        detector = FlexCoreDetector(system, num_paths=16)
+        governor = ComputeGovernor(AimdPolicy(2, 16, start=8))
+        with StreamingUplinkEngine(
+            detector, cells=2, governor=governor
+        ) as engine:
+            engine.detect_batch(channels, received, noise_var)
+            engine.detect_batch(channels, received, noise_var)
+            summary = engine.scheduler_summary
+        assert summary["frames_detected"] == 2 * received.shape[0] * (
+            received.shape[1]
+        )
+        assert 0.0 <= summary["deadline_hit_rate"] <= 1.0
+        assert summary["flushes"] >= 2

@@ -79,3 +79,18 @@ class TestExperimentResult:
         result = self._result()
         assert result.column("x") == [1, 2]
         assert result.filtered(x=2)[0]["y"] == 3.5
+
+    def test_runtime_payload_is_persisted(self, tmp_path):
+        result = self._result()
+        result.record_runtime(
+            "scheduler", {"deadline_hit_rate": 1.0, "flushes": 7}
+        )
+        path = tmp_path / "demo.json"
+        result.save_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["runtime"]["scheduler"]["flushes"] == 7
+
+    def test_runtime_payload_omitted_when_empty(self, tmp_path):
+        path = tmp_path / "demo.json"
+        self._result().save_json(path)
+        assert "runtime" not in json.loads(path.read_text())

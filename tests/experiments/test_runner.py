@@ -21,6 +21,7 @@ class TestRegistry:
             "fig14",
             "ablations",
             "soft_gain",
+            "farm",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -120,3 +121,73 @@ class TestStreamingFlags:
     def test_invalid_cells_rejected(self):
         with pytest.raises(SystemExit):
             main(["--experiment", "table3", "--cells", "0"])
+
+
+class TestControlPlaneFlags:
+    @staticmethod
+    def _stub_result():
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="stub", title="Stub", profile="quick", columns=["x"]
+        )
+        result.add_row(x=1)
+        return result
+
+    def test_governor_and_workload_forwarded(self, monkeypatch):
+        captured = {}
+
+        def stub(profile, governor="aimd", workload="bursty", cells=2):
+            captured.update(
+                governor=governor, workload=workload, cells=cells
+            )
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        code = main(
+            [
+                "--experiment",
+                "stub",
+                "--governor",
+                "snr",
+                "--workload",
+                "flash-crowd",
+            ]
+        )
+        assert code == 0
+        assert captured == {
+            "governor": "snr",
+            "workload": "flash-crowd",
+            "cells": 2,
+        }
+
+    def test_cells_without_streaming_param_stays_quiet(
+        self, monkeypatch, capsys
+    ):
+        """--cells on a governed (non-streaming) experiment must not
+        print a misleading 'no streaming parameter' notice."""
+        captured = {}
+
+        def stub(profile, governor="aimd", cells=1):
+            captured.update(governor=governor, cells=cells)
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        code = main(
+            ["--experiment", "stub", "--governor", "aimd", "--cells", "4"]
+        )
+        assert code == 0
+        assert captured == {"governor": "aimd", "cells": 4}
+        assert "no streaming parameter" not in capsys.readouterr().out
+
+    def test_governor_skipped_without_parameter(self, monkeypatch, capsys):
+        def stub(profile):
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        assert main(["--experiment", "stub", "--governor", "aimd"]) == 0
+        assert "no governor parameter" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "farm", "--workload", "tsunami"])

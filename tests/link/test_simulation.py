@@ -70,6 +70,33 @@ class TestSimulation:
         assert "average_active_paths" in result.metadata
         assert result.metadata["average_active_paths"] >= 1.0
 
+    def test_streaming_engine_reports_scheduler_telemetry(self, config):
+        from repro.runtime.cells import StreamingUplinkEngine
+
+        detector = FlexCoreDetector(config.system, num_paths=8)
+        with StreamingUplinkEngine(detector, cells=2) as engine:
+            result = simulate_link(
+                config,
+                detector,
+                20.0,
+                2,
+                rayleigh_sampler(config),
+                rng=5,
+                engine=engine,
+            )
+        summary = result.metadata["runtime"]["scheduler"]
+        assert summary["flushes"] > 0
+        assert summary["frames_detected"] == 2 * 8 * 2  # pkts x sc x sym
+        assert 0.0 <= summary["deadline_hit_rate"] <= 1.0
+        assert summary["max_latency_s"] >= summary["mean_latency_s"] >= 0.0
+
+    def test_batch_engine_has_no_scheduler_telemetry(self, config):
+        detector = FlexCoreDetector(config.system, num_paths=8)
+        result = simulate_link(
+            config, detector, 20.0, 1, rayleigh_sampler(config), rng=5
+        )
+        assert "scheduler" not in result.metadata["runtime"]
+
     def test_throughput_computation(self, config):
         detector = MmseDetector(config.system)
         result = simulate_link(

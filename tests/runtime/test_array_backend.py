@@ -192,10 +192,10 @@ class TestArrayBackendEquivalence:
         serial = serial_engine.detect_batch(channels, received, noise_var)
         array_engine = BatchedUplinkEngine(detector, backend="array")
         array = array_engine.detect_batch(channels, received, noise_var)
-        assert array.stats["cache_hits"] == serial.stats["cache_hits"] == 3
+        assert array.stats["cache"].hits == serial.stats["cache"].hits == 3
         assert (
-            array.stats["contexts_prepared"]
-            == serial.stats["contexts_prepared"]
+            array.stats["cache"].misses
+            == serial.stats["cache"].misses
             == NUM_SUBCARRIERS
         )
         assert array_engine.cache_stats == serial_engine.cache_stats

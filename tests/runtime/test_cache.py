@@ -147,9 +147,9 @@ class TestEngineCaching:
         engine = BatchedUplinkEngine(detector)
         first = engine.detect_batch(channels, received, 0.05)
         second = engine.detect_batch(channels, received, 0.05)
-        assert first.stats["contexts_prepared"] == 4
-        assert second.stats["contexts_prepared"] == 0
-        assert second.stats["cache_hits"] == 4
+        assert first.stats["cache"].misses == 4
+        assert second.stats["cache"].misses == 0
+        assert second.stats["cache"].hits == 4
         assert np.array_equal(first.indices, second.indices)
 
     def test_cache_disabled_always_prepares(self, detector, rng):
@@ -158,7 +158,7 @@ class TestEngineCaching:
         engine = BatchedUplinkEngine(detector, cache_contexts=False)
         engine.detect_batch(channels, received, 0.05)
         replay = engine.detect_batch(channels, received, 0.05)
-        assert replay.stats["contexts_prepared"] == 4
+        assert replay.stats["cache"].misses == 4
         assert engine.cache_stats["entries"] == 0
 
     def test_cache_disabled_skips_within_batch_dedup(self, detector, rng):
@@ -170,11 +170,11 @@ class TestEngineCaching:
         received = rng.standard_normal((4, 2, 3)) + 0j
         uncached = BatchedUplinkEngine(detector, cache_contexts=False)
         result = uncached.detect_batch(channels, received, 0.05)
-        assert result.stats["contexts_prepared"] == 4
+        assert result.stats["cache"].misses == 4
         cached = BatchedUplinkEngine(detector)
         result = cached.detect_batch(channels, received, 0.05)
-        assert result.stats["contexts_prepared"] == 1
-        assert result.stats["cache_hits"] == 3
+        assert result.stats["cache"].misses == 1
+        assert result.stats["cache"].hits == 3
 
     def test_pool_backend_amortises_across_calls(self, detector, rng):
         # Contexts are prepared in the parent via the persistent cache,
@@ -186,9 +186,9 @@ class TestEngineCaching:
         ) as engine:
             first = engine.detect_batch(channels, received, 0.05)
             second = engine.detect_batch(channels, received, 0.05)
-        assert first.stats["contexts_prepared"] == 4
-        assert second.stats["contexts_prepared"] == 0
-        assert second.stats["cache_hits"] == 4
+        assert first.stats["cache"].misses == 4
+        assert second.stats["cache"].misses == 0
+        assert second.stats["cache"].hits == 4
         assert np.array_equal(first.indices, second.indices)
 
     def test_clear_cache(self, detector, rng):
@@ -198,7 +198,7 @@ class TestEngineCaching:
         engine.detect_batch(channels, received, 0.05)
         engine.clear_cache()
         replay = engine.detect_batch(channels, received, 0.05)
-        assert replay.stats["contexts_prepared"] == 2
+        assert replay.stats["cache"].misses == 2
 
 
 class TestLinkIntegration:

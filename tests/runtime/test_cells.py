@@ -219,9 +219,9 @@ class TestStreamingUplinkEngine:
         with StreamingUplinkEngine(detector, cells=2) as engine:
             first = engine.detect_batch(channels, received, 0.05)
             second = engine.detect_batch(channels, received, 0.05)
-        assert first.stats["contexts_prepared"] == 4
-        assert second.stats["contexts_prepared"] == 0
-        assert second.stats["cache_hits"] == 4
+        assert sum(d.misses for d in first.stats["cache"].values()) == 4
+        assert sum(d.misses for d in second.stats["cache"].values()) == 0
+        assert sum(d.hits for d in second.stats["cache"].values()) == 4
         assert np.array_equal(first.indices, second.indices)
 
     def test_clear_cache_clears_every_cell(self, system, rng):
@@ -232,7 +232,7 @@ class TestStreamingUplinkEngine:
             engine.detect_batch(channels, received, 0.05)
             engine.clear_cache()
             replay = engine.detect_batch(channels, received, 0.05)
-        assert replay.stats["contexts_prepared"] == 4
+        assert sum(d.misses for d in replay.stats["cache"].values()) == 4
 
     def test_per_cell_stats_exposed(self, system, rng):
         detector = FlexCoreDetector(system, num_paths=8)

@@ -90,8 +90,8 @@ class TestDetectionService:
         service = DetectionService()
         result = service.detect(detector, batch, cache=None)
         again = service.detect(detector, batch, cache=None)
-        assert result.stats["contexts_prepared"] == batch.num_subcarriers
-        assert again.stats["contexts_prepared"] == batch.num_subcarriers
+        assert result.stats["cache"].misses == batch.num_subcarriers
+        assert again.stats["cache"].misses == batch.num_subcarriers
         assert np.array_equal(result.indices, again.indices)
 
     def test_soft_rejected_for_hard_detector(self, detector, system, rng):
@@ -120,12 +120,28 @@ class TestCacheStatsContract:
         assert second.stats["cache"].hits == batch.num_subcarriers
         assert second.stats["cache"].entries == batch.num_subcarriers
 
-    def test_deprecated_aliases_match_snapshot(self, detector, system, rng):
+    def test_deprecated_aliases_match_snapshot_and_warn(
+        self, detector, system, rng
+    ):
         batch = make_batch(system, rng)
         result = BatchedUplinkEngine(detector).detect_batch(batch)
         snapshot = result.stats["cache"]
-        assert result.stats["cache_hits"] == snapshot.hits
-        assert result.stats["contexts_prepared"] == snapshot.misses
+        with pytest.warns(DeprecationWarning, match="cache"):
+            assert result.stats["cache_hits"] == snapshot.hits
+        with pytest.warns(DeprecationWarning, match="cache"):
+            assert result.stats["contexts_prepared"] == snapshot.misses
+        with pytest.warns(DeprecationWarning, match="cache"):
+            assert result.stats.get("cache_hits") == snapshot.hits
+
+    def test_snapshot_reads_do_not_warn(self, detector, system, rng):
+        import warnings
+
+        batch = make_batch(system, rng)
+        result = BatchedUplinkEngine(detector).detect_batch(batch)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = result.stats["cache"]
+            _ = result.stats["backend"]
 
     def test_engine_cache_stats_is_snapshot(self, detector, system, rng):
         batch = make_batch(system, rng)
