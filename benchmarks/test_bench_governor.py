@@ -27,21 +27,23 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.channel.fading import rayleigh_channels
-from repro.control import (
-    AimdPolicy,
-    ComputeGovernor,
-    WorkloadScenario,
-    calibrate_slot_cost,
-    run_paced,
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+    build_stack,
 )
-from repro.flexcore.detector import FlexCoreDetector
+from repro.channel.fading import rayleigh_channels
+from repro.control import WorkloadScenario
 from repro.mimo.model import apply_channel, noise_variance_for_snr_db
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 from repro.modulation.mapper import random_symbol_indices
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
-from repro.runtime import CellFarm, ContextCache, DetectionService, UplinkBatch
+from repro.runtime import ContextCache, DetectionService, UplinkBatch
 
 NUM_CELLS = 2
 SUBCARRIERS = 8
@@ -107,7 +109,6 @@ def workload():
 def test_governed_farm_sustains_overload(workload):
     """Governed >= 99% where the ungoverned farm drops below 90%."""
     system, cell_ids, cell_channels, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=PATHS_MAX)
     scenario = WorkloadScenario(
         scenario="steady",
         cells=cell_ids,
@@ -116,27 +117,41 @@ def test_governed_farm_sustains_overload(workload):
         utilization=1.0,
         seed=2017,
     )
-    with CellFarm(backend=BACKEND) as farm:
-        for cell_id in cell_ids:
-            farm.add_cell(cell_id, detector)
-        slot_cost = calibrate_slot_cost(
-            farm, scenario, cell_channels, system, noise_var
+    # The PR 4 governed-farm stack in config form (the "farm-overload"
+    # preset's shape at this bench's dimensions).
+    config = StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 8, 8, 16, params={"num_paths": PATHS_MAX}
+        ),
+        backend=BackendSpec(BACKEND),
+        farm=FarmSpec(streaming=True, cells=NUM_CELLS),
+        scheduler=SchedulerSpec(batch_target=SYMBOLS_PER_SLOT),
+        governor=GovernorSpec(
+            policy="aimd",
+            paths_min=PATHS_MIN,
+            paths_max=PATHS_MAX,
+            peak_frames_hint=SUBCARRIERS * SYMBOLS_PER_SLOT,
+        ),
+    )
+    with build_stack(config) as stack:
+        slot_cost = stack.calibrate_slot_cost(
+            scenario, cell_channels, noise_var
         )
         slot_interval = OVERLOAD * slot_cost
 
-        ungoverned, untel = run_paced(
-            farm, scenario, cell_channels, system, noise_var, slot_interval
+        ungoverned, untel = stack.run_streaming(
+            scenario,
+            cell_channels,
+            noise_var,
+            slot_interval_s=slot_interval,
+            governor=None,
         )
-        governor = ComputeGovernor(
-            AimdPolicy(
-                PATHS_MIN,
-                PATHS_MAX,
-                peak_frames_hint=SUBCARRIERS * SYMBOLS_PER_SLOT,
-            )
-        )
-        governed, gtel = run_paced(
-            farm, scenario, cell_channels, system, noise_var,
-            slot_interval, governor=governor,
+        governor = stack.governor
+        governed, gtel = stack.run_streaming(
+            scenario,
+            cell_channels,
+            noise_var,
+            slot_interval_s=slot_interval,
         )
 
     governed_hit = gtel.deadline_hit_rate
@@ -201,7 +216,9 @@ def test_floor_budget_accuracy_cost_is_bounded(workload):
             for sc in range(num_sc)
         ]
     )
-    detector = FlexCoreDetector(system, num_paths=PATHS_MAX)
+    detector = DetectorSpec(
+        "flexcore", 8, 8, 16, params={"num_paths": PATHS_MAX}
+    ).build()
     service = DetectionService(BACKEND)
     cache = ContextCache()
     batch = UplinkBatch(

@@ -26,17 +26,27 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.api import BackendSpec, DetectorSpec, StackConfig, build_stack
 from repro.channel.fading import rayleigh_channels
-from repro.flexcore.detector import FlexCoreDetector
 from repro.mimo.model import apply_channel, noise_variance_for_snr_db
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 from repro.modulation.mapper import random_symbol_indices
-from repro.runtime import BatchedUplinkEngine
 
 NUM_SUBCARRIERS = 64
 NUM_FRAMES = 16
 NUM_PATHS = 32
+
+
+def reference_config(backend: str = "serial", **overrides) -> StackConfig:
+    """The bench's whole stack, declared once through the api facade."""
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 8, 8, 16, params={"num_paths": NUM_PATHS}
+        ),
+        backend=BackendSpec(backend),
+        **overrides,
+    )
 
 BENCH_RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime.json"
 
@@ -104,8 +114,8 @@ def naive_per_vector(detector, channels, received, noise_var):
 def test_engine_speedup_over_per_vector_loop(workload):
     """The acceptance bar: >= 5x throughput with context caching enabled."""
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=NUM_PATHS)
-    engine = BatchedUplinkEngine(detector, cache_contexts=True)
+    engine = build_stack(reference_config())
+    detector = engine.detector
 
     start = time.perf_counter()
     reference = naive_per_vector(detector, channels, received, noise_var)
@@ -148,9 +158,8 @@ def test_array_backend_speedup_over_serial(workload):
     work is identical on both sides anyway.
     """
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=NUM_PATHS)
-    serial = BatchedUplinkEngine(detector, backend="serial")
-    array = BatchedUplinkEngine(detector, backend="array")
+    serial = build_stack(reference_config("serial"))
+    array = build_stack(reference_config("array"))
 
     reference = serial.detect_batch(channels, received, noise_var)  # warm up
     stacked = array.detect_batch(channels, received, noise_var)
@@ -191,9 +200,8 @@ def test_array_backend_cold_prepare_not_slower(workload):
     """Cold-cache path: one stacked QR per block must not lose to the
     per-channel prepare loop (guards the batched-prepare plumbing)."""
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=NUM_PATHS)
-    serial = BatchedUplinkEngine(detector, backend="serial")
-    array = BatchedUplinkEngine(detector, backend="array")
+    serial = build_stack(reference_config("serial"))
+    array = build_stack(reference_config("array"))
 
     serial_s = float("inf")
     array_s = float("inf")
@@ -229,8 +237,7 @@ def test_array_backend_cold_prepare_not_slower(workload):
 def test_warm_cache_amortises_prepare(workload):
     """Replaying a coherence block must skip every prepare."""
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=32)
-    engine = BatchedUplinkEngine(detector)
+    engine = build_stack(reference_config())
     cold_start = time.perf_counter()
     engine.detect_batch(channels, received, noise_var)
     cold_s = time.perf_counter() - cold_start
@@ -248,8 +255,7 @@ def test_warm_cache_amortises_prepare(workload):
 
 def test_bench_engine_batch(benchmark, workload):
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=32)
-    engine = BatchedUplinkEngine(detector)
+    engine = build_stack(reference_config())
 
     def run():
         return engine.detect_batch(channels, received, noise_var)
@@ -260,7 +266,7 @@ def test_bench_engine_batch(benchmark, workload):
 
 def test_bench_per_vector_loop(benchmark, workload):
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=32)
+    detector = build_stack(reference_config()).detector
     # Benchmark one subcarrier's worth (the full loop is what the
     # speedup assertion times); scale: x NUM_SUBCARRIERS for the block.
     result = benchmark(

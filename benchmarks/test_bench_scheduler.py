@@ -27,19 +27,20 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    StackConfig,
+    build_stack,
+)
 from repro.channel.fading import rayleigh_channels
-from repro.flexcore.detector import FlexCoreDetector
 from repro.mimo.model import apply_channel, noise_variance_for_snr_db
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 from repro.modulation.mapper import random_symbol_indices
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
-from repro.runtime import (
-    BatchedUplinkEngine,
-    CellFarm,
-    FrameArrival,
-    StreamingUplinkEngine,
-)
+from repro.runtime import FrameArrival
 
 NUM_SUBCARRIERS = 64
 NUM_FRAMES = 16
@@ -47,6 +48,17 @@ NUM_PATHS = 32
 NUM_CELLS = 4
 PACED_SLOTS = 6
 CALIBRATION_MARGIN = 2.5
+
+
+def reference_config(streaming: bool = False, cells: int = 1) -> StackConfig:
+    """The bench's whole stack, declared once through the api facade."""
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 8, 8, 16, params={"num_paths": NUM_PATHS}
+        ),
+        backend=BackendSpec("serial"),
+        farm=FarmSpec(streaming=streaming, cells=cells),
+    )
 
 BENCH_RECORD_PATH = (
     Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
@@ -104,9 +116,8 @@ def workload():
 def test_streaming_throughput_within_20pct_of_batch(workload):
     """Equal work: the full block through scheduler vs batch engine."""
     system, channels, received, noise_var = workload
-    detector = FlexCoreDetector(system, num_paths=NUM_PATHS)
-    batch_engine = BatchedUplinkEngine(detector)
-    streaming = StreamingUplinkEngine(detector, cells=NUM_CELLS)
+    batch_engine = build_stack(reference_config())
+    streaming = build_stack(reference_config(streaming=True, cells=NUM_CELLS))
 
     reference = batch_engine.detect_batch(channels, received, noise_var)
     streamed = streaming.detect_batch(channels, received, noise_var)
@@ -154,14 +165,12 @@ def test_paced_slots_meet_99pct_of_deadlines(workload):
     system, channels, received, noise_var = workload
     rng = np.random.default_rng(20170)
     per_cell = NUM_SUBCARRIERS // NUM_CELLS
-    farm = CellFarm(backend="serial")
-    cell_channels = {}
-    for index in range(NUM_CELLS):
-        cell_id = f"cell{index}"
-        farm.add_cell(cell_id, FlexCoreDetector(system, num_paths=NUM_PATHS))
-        cell_channels[cell_id] = channels[
-            index * per_cell : (index + 1) * per_cell
-        ]
+    stack = build_stack(reference_config(streaming=True, cells=NUM_CELLS))
+    farm = stack.farm
+    cell_channels = {
+        cell_id: channels[index * per_cell : (index + 1) * per_cell]
+        for index, cell_id in enumerate(stack.cell_ids)
+    }
 
     def slot_arrivals():
         for cell_id, block in cell_channels.items():
@@ -242,7 +251,7 @@ def test_paced_slots_meet_99pct_of_deadlines(workload):
             "flush_reasons": dict(telemetry.flush_reasons),
         },
     )
-    farm.close()
+    stack.close()
     assert hit_rate >= 0.99, (
         f"deadline hit-rate {hit_rate:.1%} at the calibrated arrival rate"
     )

@@ -34,38 +34,43 @@ import sys
 
 import numpy as np
 
-from repro import FlexCoreDetector, MimoSystem, QamConstellation
-from repro.channel.fading import rayleigh_channels
-from repro.control import (
-    POLICY_NAMES,
-    AimdPolicy,
-    ComputeGovernor,
-    SnrAwarePolicy,
-    StaticPolicy,
-    WorkloadScenario,
-    calibrate_slot_cost,
-    run_paced,
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+    build_stack,
 )
+from repro.channel.fading import rayleigh_channels
+from repro.control import POLICY_NAMES, WorkloadScenario
 from repro.control.workload import SCENARIOS
 from repro.mimo.model import noise_variance_for_snr_db
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
-from repro.runtime import CellFarm
 
 
-def build_policy(args, constellation):
-    peak_frames = args.subcarriers * SYMBOLS_PER_SLOT
-    if args.policy == "aimd":
-        return AimdPolicy(
-            args.paths_min, args.paths_max, peak_frames_hint=peak_frames
-        )
-    if args.policy == "snr":
-        return SnrAwarePolicy(
-            constellation,
-            args.paths_min,
-            args.paths_max,
+def build_config(args) -> StackConfig:
+    """The whole governed farm as one declarative stack config."""
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore",
+            args.antennas,
+            args.antennas,
+            16,
+            params={"num_paths": args.paths_max},
+        ),
+        backend=BackendSpec(args.backend),
+        farm=FarmSpec(streaming=True, cells=args.cells),
+        scheduler=SchedulerSpec(batch_target=SYMBOLS_PER_SLOT),
+        governor=GovernorSpec(
+            policy=args.policy,
+            paths_min=args.paths_min,
+            paths_max=args.paths_max,
+            peak_frames_hint=args.subcarriers * SYMBOLS_PER_SLOT,
             target_error_rate=args.target_error,
-        )
-    return StaticPolicy(args.paths_max)
+        ),
+    )
 
 
 def describe(label, outcome, telemetry):
@@ -121,9 +126,10 @@ def main() -> int:
         args.scenario, args.policy = "bursty", "aimd"
     rng = np.random.default_rng(args.seed)
 
-    system = MimoSystem(args.antennas, args.antennas, QamConstellation(16))
+    config = build_config(args)
+    system = config.detector.system()
     noise_var = noise_variance_for_snr_db(20.0)
-    cell_ids = tuple(f"cell{i}" for i in range(args.cells))
+    cell_ids = config.farm.cell_ids()
     cell_channels = {
         cell_id: rayleigh_channels(
             args.subcarriers, args.antennas, args.antennas, rng
@@ -138,13 +144,9 @@ def main() -> int:
         seed=args.seed,
     )
 
-    detector = FlexCoreDetector(system, num_paths=args.paths_max)
-    with CellFarm(backend=args.backend) as farm:
-        for cell_id in cell_ids:
-            farm.add_cell(cell_id, detector)
-
-        slot_cost = calibrate_slot_cost(
-            farm, scenario, cell_channels, system, noise_var
+    with build_stack(config) as stack:
+        slot_cost = stack.calibrate_slot_cost(
+            scenario, cell_channels, noise_var
         )
         slot_interval = args.overload * slot_cost
         print(
@@ -160,15 +162,21 @@ def main() -> int:
         )
 
         if not args.no_compare:
-            outcome, telemetry = run_paced(
-                farm, scenario, cell_channels, system, noise_var, slot_interval
+            outcome, telemetry = stack.run_streaming(
+                scenario,
+                cell_channels,
+                noise_var,
+                slot_interval_s=slot_interval,
+                governor=None,
             )
             describe("ungoverned", outcome, telemetry)
 
-        governor = ComputeGovernor(build_policy(args, system.constellation))
-        outcome, telemetry = run_paced(
-            farm, scenario, cell_channels, system, noise_var, slot_interval,
-            governor=governor,
+        governor = stack.governor
+        outcome, telemetry = stack.run_streaming(
+            scenario,
+            cell_channels,
+            noise_var,
+            slot_interval_s=slot_interval,
         )
         describe("governed", outcome, telemetry)
 
@@ -180,7 +188,7 @@ def main() -> int:
                 shown = ", ".join(map(str, trajectory[:12])) + ", ..."
             else:
                 shown = ", ".join(map(str, trajectory))
-            stats = farm[cell_id].stats
+            stats = stack.farm[cell_id].stats
             print(
                 f"  {cell_id}: budget trajectory [{shown}] "
                 f"(shed {stats.frames_shed} frames)"

@@ -31,12 +31,20 @@ import time
 
 import numpy as np
 
-from repro import FlexCoreDetector, MimoSystem, QamConstellation
+from repro import MimoSystem, QamConstellation
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    SchedulerSpec,
+    StackConfig,
+    build_stack,
+)
 from repro.channel.fading import rayleigh_channels
 from repro.mimo.model import apply_channel, noise_variance_for_snr_db
 from repro.modulation.mapper import random_symbol_indices
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
-from repro.runtime import CellFarm, FrameArrival
+from repro.runtime import FrameArrival
 
 
 def build_workloads(args, rng):
@@ -156,9 +164,22 @@ def main() -> int:
     rng = np.random.default_rng(args.seed)
 
     system, noise_var, cells, slot_bursts = build_workloads(args, rng)
-    farm = CellFarm(backend=args.backend)
-    for cell_id in cells:
-        farm.add_cell(cell_id, FlexCoreDetector(system, num_paths=16))
+    # The whole farm as one declarative config (the "ap-farm" preset's
+    # shape, sized by the CLI flags), assembled via the api facade.
+    config = StackConfig(
+        detector=DetectorSpec(
+            "flexcore",
+            args.antennas,
+            args.antennas,
+            16,
+            params={"num_paths": 16},
+        ),
+        backend=BackendSpec(args.backend),
+        farm=FarmSpec(streaming=True, cells=args.cells),
+        scheduler=SchedulerSpec(batch_target=SYMBOLS_PER_SLOT),
+    )
+    stack = build_stack(config)
+    farm = stack.farm
 
     slot_work_s = calibrate(args, farm, cells, slot_bursts, noise_var)
     slot_interval = args.margin * slot_work_s
@@ -182,7 +203,7 @@ def main() -> int:
         print(
             f"{cell_id:8s} {stats.frames:>7d} {stats.flushes:>8d} "
             f"{stats.frames_on_time:>8d} {stats.deadline_hit_rate:>8.1%} "
-            f"{stats.contexts_prepared:>9d} {stats.cache_hits:>11d}"
+            f"{stats.cache.misses:>9d} {stats.cache.hits:>11d}"
         )
 
     hit_rate = telemetry.deadline_hit_rate
@@ -198,7 +219,7 @@ def main() -> int:
         "one cell's churn never evicts a neighbour's contexts"
     )
 
-    farm.close()
+    stack.close()
     if args.smoke:
         if hit_rate < 0.99:
             print(

@@ -18,10 +18,10 @@ identical across backends.
 import sys
 
 from repro import FcsdDetector, FlexCoreDetector, MimoSystem, MmseDetector, QamConstellation
+from repro.api import BackendSpec, StackConfig, build_stack
 from repro.channel import IndoorTestbed
 from repro.link import LinkConfig, simulate_link
 from repro.link.channels import testbed_sampler
-from repro.runtime import BatchedUplinkEngine
 
 
 def main() -> None:
@@ -51,12 +51,15 @@ def main() -> None:
         ("FlexCore", 64, FlexCoreDetector(system, num_paths=64)),
         ("FlexCore", 196, FlexCoreDetector(system, num_paths=196)),
     ]
+    # One runtime description shared by every scheme; each detector gets
+    # its own stack (and cache) built from it through the api facade.
+    stack_config = StackConfig(backend=BackendSpec(backend))
     for name, pes, detector in schemes:
         # The batched runtime detects all 16 subcarriers per packet in
         # one call and caches per-channel contexts; the 8-frame trace
         # cycles, so packets 9..16 hit the cache instead of re-running QR
         # and FlexCore pre-processing.
-        with BatchedUplinkEngine(detector, backend=backend) as engine:
+        with build_stack(stack_config, detector=detector) as engine:
             result = simulate_link(
                 config, detector, snr_db, packets, sampler, rng=1,
                 engine=engine,

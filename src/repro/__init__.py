@@ -50,17 +50,37 @@ from repro.control import (
     StaticPolicy,
     WorkloadScenario,
 )
+from repro.api import (
+    BackendSpec,
+    CacheSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+    UplinkStack,
+    build_stack,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AdaptiveFlexCoreDetector",
     "AimdPolicy",
+    "BackendSpec",
     "BatchedUplinkEngine",
+    "CacheSpec",
     "ComputeGovernor",
+    "DetectorSpec",
+    "FarmSpec",
+    "GovernorSpec",
+    "SchedulerSpec",
     "SnrAwarePolicy",
+    "StackConfig",
     "StaticPolicy",
+    "UplinkStack",
     "WorkloadScenario",
+    "build_stack",
     "DetectionResult",
     "Detector",
     "FcsdDetector",

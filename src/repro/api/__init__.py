@@ -1,0 +1,50 @@
+"""Config-first API: one declarative surface for the whole stack.
+
+Everything the repo can run — detector, execution backend, coherence
+cache, streaming cell farm, slot-deadline scheduler, adaptive governor —
+described as one typed, frozen, JSON-round-trippable
+:class:`StackConfig`, and assembled by :func:`build_stack` into a live
+:class:`UplinkStack` facade::
+
+    from repro.api import StackConfig, DetectorSpec, build_stack
+
+    config = StackConfig(
+        detector=DetectorSpec("flexcore", 8, params={"num_paths": 64}),
+    )
+    with build_stack(config) as stack:
+        result = stack.detect_batch(channels, received, noise_var)
+
+    # the config is data: save it, diff it, ship it to a worker
+    payload = config.to_dict()           # JSON-native
+    assert StackConfig.from_dict(payload) == config
+
+:mod:`repro.api.presets` names the stacks the repo keeps rebuilding
+(``"paper-fig9"``, ``"ap-farm"``, ``"farm-overload"``, ``"array-soft"``);
+the experiment runner's ``--config`` / ``--preset`` flags and every
+saved experiment JSON speak this format.
+"""
+
+from repro.api import presets
+from repro.api.specs import (
+    BackendSpec,
+    CacheSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+)
+from repro.api.stack import UplinkStack, build_stack
+
+__all__ = [
+    "BackendSpec",
+    "CacheSpec",
+    "DetectorSpec",
+    "FarmSpec",
+    "GovernorSpec",
+    "SchedulerSpec",
+    "StackConfig",
+    "UplinkStack",
+    "build_stack",
+    "presets",
+]

@@ -1,0 +1,102 @@
+"""Ready-made :class:`~repro.api.specs.StackConfig` presets.
+
+The deployments the repo keeps rebuilding by hand, named:
+
+* ``"paper-fig9"`` — the Fig. 9 reference stack: 8x8 16-QAM FlexCore at
+  64 paths on the batch engine (serial backend), the shape the
+  throughput experiments drive.
+* ``"ap-farm"`` — ``examples/ap_farm.py`` in config form: four 4x4
+  16-QAM cells streaming LTE slot bursts through one shared serial
+  backend.
+* ``"farm-overload"`` — the PR 4 control-plane scenario: two 8x8
+  16-QAM cells on the array backend under an AIMD-governed path budget
+  in ``[2, 128]`` — the governed-farm experiment/bench/demo stack.
+* ``"array-soft"`` — soft-output FlexCore on the stacked tensor-walk
+  (array) backend, for LLR-producing link runs.
+
+Mirrors :func:`repro.runtime.backends.make_backend`'s sorted-names
+pattern: :func:`names` is the catalogue every error message cites.
+"""
+
+from __future__ import annotations
+
+from repro.api.specs import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+)
+from repro.errors import ConfigurationError
+from repro.ofdm.lte import SYMBOLS_PER_SLOT
+
+
+def _paper_fig9() -> StackConfig:
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 8, 8, 16, params={"num_paths": 64}
+        ),
+        backend=BackendSpec("serial"),
+    )
+
+
+def _ap_farm() -> StackConfig:
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 4, 4, 16, params={"num_paths": 16}
+        ),
+        backend=BackendSpec("serial"),
+        farm=FarmSpec(streaming=True, cells=4),
+        scheduler=SchedulerSpec(batch_target=SYMBOLS_PER_SLOT),
+    )
+
+
+def _farm_overload() -> StackConfig:
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 8, 8, 16, params={"num_paths": 128}
+        ),
+        backend=BackendSpec("array"),
+        farm=FarmSpec(streaming=True, cells=2),
+        scheduler=SchedulerSpec(batch_target=SYMBOLS_PER_SLOT),
+        governor=GovernorSpec(
+            policy="aimd",
+            paths_min=2,
+            paths_max=128,
+            peak_frames_hint=8 * SYMBOLS_PER_SLOT,
+        ),
+    )
+
+
+def _array_soft() -> StackConfig:
+    return StackConfig(
+        detector=DetectorSpec(
+            "soft-flexcore", 8, 8, 16, params={"num_paths": 32}
+        ),
+        backend=BackendSpec("array"),
+    )
+
+
+_PRESETS = {
+    "paper-fig9": _paper_fig9,
+    "ap-farm": _ap_farm,
+    "farm-overload": _farm_overload,
+    "array-soft": _array_soft,
+}
+
+
+def names() -> "tuple[str, ...]":
+    """Preset names accepted by :func:`get` — the error catalogue."""
+    return tuple(sorted(_PRESETS))
+
+
+def get(name: str) -> StackConfig:
+    """The named preset as a fresh :class:`StackConfig`."""
+    try:
+        builder = _PRESETS[name]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown preset {name!r}; options: {', '.join(names())}"
+        ) from None
+    return builder()

@@ -215,6 +215,8 @@ def calibrate_slot_cost(
     noise_var: float,
     symbols_per_slot: int = SYMBOLS_PER_SLOT,
     seed: "int | None" = None,
+    batch_target: "int | None" = None,
+    flush_margin_s: float = 0.0,
 ) -> float:
     """Warm wall-clock cost of one full-load slot through ``farm``.
 
@@ -224,14 +226,22 @@ def calibrate_slot_cost(
     slot — at whatever budget the farm's detectors currently run,
     i.e. the *full* budget when no governor is attached.  Offered-load
     dials (``interval = overload x cost``) hang off this number.
+    ``batch_target`` defaults to the slot burst size (one flush per
+    (cell, subcarrier) per slot); pass the deployment's configured
+    target so the calibrated cost prices the flush shape that will
+    actually run.
     """
     peak_row = {cell: scenario.subcarriers for cell in scenario.cells}
     base_seed = scenario.seed if seed is None else seed
+    if batch_target is None:
+        batch_target = symbols_per_slot
 
     async def one_pass():
         rng = np.random.default_rng(base_seed)
         async with farm.scheduler(
-            batch_target=symbols_per_slot, slot_budget_s=math.inf
+            batch_target=batch_target,
+            slot_budget_s=math.inf,
+            flush_margin_s=flush_margin_s,
         ) as scheduler:
             futures = [
                 await scheduler.submit(arrival)
@@ -264,6 +274,9 @@ def run_paced(
     symbols_per_slot: int = SYMBOLS_PER_SLOT,
     seed: "int | None" = None,
     keep_detections: bool = False,
+    batch_target: "int | None" = None,
+    slot_budget_s: "float | None" = None,
+    flush_margin_s: float = 0.0,
 ):
     """Synchronous one-shot: pace a scenario through a fresh scheduler.
 
@@ -272,14 +285,23 @@ def run_paced(
     returns ``(ScenarioOutcome, SchedulerTelemetry)``.  Shared by the
     ``farm`` experiment, ``examples/adaptive_farm.py`` and the governor
     bench so all three measure exactly the same protocol.
+    ``batch_target`` defaults to the slot burst size and
+    ``slot_budget_s`` to the pacing interval (the real-time contract of
+    a paced run); pass explicit values to model a different flush
+    policy, e.g. from a :class:`repro.api.SchedulerSpec`.
     """
     base_seed = scenario.seed + 1 if seed is None else seed
     rng = np.random.default_rng(base_seed)
+    if batch_target is None:
+        batch_target = symbols_per_slot
+    if slot_budget_s is None:
+        slot_budget_s = slot_interval_s
 
     async def paced():
         async with farm.scheduler(
-            batch_target=symbols_per_slot,
-            slot_budget_s=slot_interval_s,
+            batch_target=batch_target,
+            slot_budget_s=slot_budget_s,
+            flush_margin_s=flush_margin_s,
             governor=governor,
         ) as scheduler:
             outcome = await pace_scenario(

@@ -112,6 +112,11 @@ class ExperimentResult:
     #: itself (e.g. the streaming scheduler's deadline telemetry, the
     #: governor's control summary); persisted by :meth:`save_json`.
     runtime: dict = field(default_factory=dict)
+    #: The effective :class:`repro.api.StackConfig` the run executed
+    #: under, as its ``to_dict()`` payload — persisted by
+    #: :meth:`save_json` so every published JSON is reproducible from
+    #: its own metadata (``StackConfig.from_dict(payload["config"])``).
+    config: "dict | None" = None
 
     def add_row(self, **values) -> None:
         missing = [column for column in self.columns if column not in values]
@@ -171,6 +176,8 @@ class ExperimentResult:
         }
         if self.runtime:
             payload["runtime"] = _jsonable(self.runtime)
+        if self.config is not None:
+            payload["config"] = _jsonable(self.config)
         Path(path).write_text(json.dumps(payload, indent=2))
 
     def column(self, name: str) -> list:

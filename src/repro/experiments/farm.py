@@ -10,6 +10,12 @@ slot interval deliberately calibrated into overload, and tabulates what
 each run did with the same offered load: deadline hit-rate, sheds, flush
 count, and the budget the governor actually ran at.
 
+The whole stack — detector, backend, cell farm, governor — is described
+by one :class:`repro.api.StackConfig` (the ``"farm-overload"`` preset is
+this experiment's default shape) and assembled through
+:func:`repro.api.build_stack`; the effective config is embedded in the
+saved result, so a published JSON reproduces its own farm.
+
 The interesting outcome (benchmarked harder in
 ``benchmarks/test_bench_governor.py``): the ungoverned farm burns its
 entire budget missing deadlines, while the governed farm trades paths —
@@ -18,28 +24,27 @@ accuracy the channel may not even need — for slots that arrive on time.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from repro.channel.fading import rayleigh_channels
-from repro.control import (
-    POLICY_NAMES,
-    AimdPolicy,
-    ComputeGovernor,
-    SnrAwarePolicy,
-    StaticPolicy,
-    WorkloadScenario,
-    calibrate_slot_cost,
-    run_paced,
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+    build_stack,
 )
+from repro.channel.fading import rayleigh_channels
+from repro.control import POLICY_NAMES, WorkloadScenario
 from repro.control.workload import SCENARIOS
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.common import ExperimentResult, get_profile
-from repro.flexcore.detector import FlexCoreDetector
-from repro.mimo.model import noise_variance_for_snr_db
-from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
+from repro.mimo.model import noise_variance_for_snr_db
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
-from repro.runtime import CellFarm
 
 #: Path-budget range the governed run may move within.
 PATHS_MIN = 2
@@ -54,20 +59,63 @@ def make_policy(
     constellation: QamConstellation,
     peak_frames: "int | None" = None,
 ):
-    """The governed run's policy prototype, by CLI name."""
-    if name == "static":
-        return StaticPolicy(PATHS_MAX)
-    if name == "aimd":
-        return AimdPolicy(
-            PATHS_MIN, PATHS_MAX, peak_frames_hint=peak_frames
+    """The governed run's policy prototype, by CLI name.
+
+    Kept as the pre-``repro.api`` surface; equivalent to
+    ``GovernorSpec(policy=name, ...).build_policy(constellation)``.
+    """
+    if name not in POLICY_NAMES:
+        raise ExperimentError(
+            f"unknown governor policy {name!r}; options: "
+            f"{', '.join(POLICY_NAMES)}"
         )
-    if name == "snr":
-        return SnrAwarePolicy(
-            constellation, PATHS_MIN, PATHS_MAX, target_error_rate=0.05
-        )
-    raise ExperimentError(
-        f"unknown governor policy {name!r}; options: "
-        f"{', '.join(POLICY_NAMES)}"
+    return GovernorSpec(
+        policy=name,
+        paths_min=PATHS_MIN,
+        paths_max=PATHS_MAX,
+        peak_frames_hint=peak_frames,
+    ).build_policy(constellation)
+
+
+def _effective_config(
+    stack_config: "StackConfig | None",
+    governor: str,
+    backend: str,
+    cells: int,
+    subcarriers: int,
+) -> StackConfig:
+    """The farm stack this run executes: explicit config, or defaults.
+
+    An explicit config must describe a governed streaming farm with a
+    detector; missing pieces are filled with this experiment's defaults
+    so a runtime-only config (e.g. flags layered by the runner) still
+    runs the reference farm.
+    """
+    explicit = stack_config is not None
+    if not explicit:
+        stack_config = StackConfig(backend=BackendSpec(backend))
+    detector = stack_config.detector or DetectorSpec(
+        "flexcore", 8, 8, 16, params={"num_paths": PATHS_MAX}
+    )
+    if explicit and stack_config.farm.streaming:
+        farm = stack_config.farm
+    else:
+        farm = FarmSpec(streaming=True, cells=max(1, int(cells)))
+    governor_spec = stack_config.governor or GovernorSpec(
+        policy=governor,
+        paths_min=PATHS_MIN,
+        paths_max=PATHS_MAX,
+        peak_frames_hint=subcarriers * SYMBOLS_PER_SLOT,
+    )
+    scheduler = stack_config.scheduler
+    if scheduler == SchedulerSpec():
+        scheduler = SchedulerSpec(batch_target=SYMBOLS_PER_SLOT)
+    return replace(
+        stack_config,
+        detector=detector,
+        farm=farm,
+        scheduler=scheduler,
+        governor=governor_spec,
     )
 
 
@@ -77,30 +125,40 @@ def run(
     workload: str = "bursty",
     backend: str = "array",
     cells: int = 2,
+    stack_config: "StackConfig | None" = None,
 ) -> ExperimentResult:
     """Governed vs ungoverned farm on one seeded traffic scenario.
 
     ``governor`` picks the governed run's policy (``static`` / ``aimd``
     / ``snr``), ``workload`` the scenario shape (see
     :data:`repro.control.workload.SCENARIOS`); the ungoverned baseline
-    always runs alongside for the comparison.
+    always runs alongside for the comparison.  ``stack_config`` (e.g.
+    the ``"farm-overload"`` preset, or the runner's ``--config``) is
+    authoritative over the individual flags.
     """
     profile = get_profile(profile)
     if workload not in SCENARIOS:
         raise ExperimentError(
             f"unknown workload {workload!r}; options: {', '.join(SCENARIOS)}"
         )
-    cells = max(1, int(cells))
-    # 8x8 16-QAM on the stacked tensor-walk backend: the path budget
-    # dominates the flush cost, giving the governor a wide dial.
-    system = MimoSystem(8, 8, QamConstellation(16))
-    noise_var = noise_variance_for_snr_db(SNR_DB)
     rng = np.random.default_rng(profile.seed)
     subcarriers = min(profile.subcarriers, 8)
     slots = max(6, min(40, profile.packets_per_point))
-    cell_ids = tuple(f"cell{i}" for i in range(cells))
+    try:
+        config = _effective_config(
+            stack_config, governor, backend, cells, subcarriers
+        )
+    except ConfigurationError as error:
+        raise ExperimentError(str(error)) from error
+    # 8x8 16-QAM on the stacked tensor-walk backend by default: the path
+    # budget dominates the flush cost, giving the governor a wide dial.
+    system = config.detector.system()
+    noise_var = noise_variance_for_snr_db(SNR_DB)
+    cell_ids = config.farm.cell_ids()
     cell_channels = {
-        cell_id: rayleigh_channels(subcarriers, 8, 8, rng)
+        cell_id: rayleigh_channels(
+            subcarriers, system.num_rx_antennas, system.num_streams, rng
+        )
         for cell_id in cell_ids
     }
     scenario = WorkloadScenario(
@@ -127,43 +185,35 @@ def run(
             "flushes",
             "mean_budget",
         ],
+        config=config.to_dict(),
     )
 
-    detector = FlexCoreDetector(system, num_paths=PATHS_MAX)
-    with CellFarm(backend=backend) as farm:
-        for cell_id in cell_ids:
-            farm.add_cell(cell_id, detector)
-        slot_cost = calibrate_slot_cost(
-            farm, scenario, cell_channels, system, noise_var
+    with build_stack(config) as stack:
+        # The ungoverned baseline runs at the detector's own path count
+        # (which a config may set differently from the governor's
+        # ceiling); budget-less detectors have no dial to report.
+        full_budget = getattr(
+            stack.detector, "num_paths", config.governor.paths_max
+        )
+        slot_cost = stack.calibrate_slot_cost(
+            scenario, cell_channels, noise_var
         )
         slot_interval = OVERLOAD * slot_cost
 
         runs = [
             ("ungoverned", "-", None),
-            (
-                "governed",
-                governor,
-                ComputeGovernor(
-                    make_policy(
-                        governor,
-                        system.constellation,
-                        peak_frames=subcarriers * SYMBOLS_PER_SLOT,
-                    )
-                ),
-            ),
+            ("governed", config.governor.policy, stack.governor),
         ]
         for mode, policy_name, gov in runs:
-            outcome, telemetry = run_paced(
-                farm,
+            outcome, telemetry = stack.run_streaming(
                 scenario,
                 cell_channels,
-                system,
                 noise_var,
-                slot_interval,
+                slot_interval_s=slot_interval,
                 governor=gov,
             )
             if gov is None:
-                mean_budget = float(PATHS_MAX)
+                mean_budget = float(full_budget)
             elif gov.telemetry.decisions:
                 budgets = [d.budget for d in gov.telemetry.decisions]
                 mean_budget = float(np.mean(budgets))
@@ -180,7 +230,7 @@ def run(
                 mode=mode,
                 policy=policy_name,
                 scenario=workload,
-                cells=cells,
+                cells=len(cell_ids),
                 frames_offered=outcome.frames_submitted,
                 frames_detected=outcome.frames_detected,
                 frames_shed=outcome.frames_shed,
@@ -197,11 +247,13 @@ def run(
     result.add_note(
         f"slot interval calibrated to {OVERLOAD:g}x the warm full-budget "
         f"slot cost ({slot_cost * 1e3:.1f} ms) — deliberate overload at "
-        f"peak demand; {cells} cells x {subcarriers} subcarriers x "
-        f"{SYMBOLS_PER_SLOT} symbols/slot on the {backend} backend"
+        f"peak demand; {len(cell_ids)} cells x {subcarriers} subcarriers "
+        f"x {SYMBOLS_PER_SLOT} symbols/slot on the {config.backend.name} "
+        "backend"
     )
     result.add_note(
-        f"governed run: {governor} policy, paths in [{PATHS_MIN}, "
-        f"{PATHS_MAX}]; ungoverned runs fixed at {PATHS_MAX} paths"
+        f"governed run: {config.governor.policy} policy, paths in "
+        f"[{config.governor.paths_min}, {config.governor.paths_max}]; "
+        f"ungoverned runs fixed at {full_budget} paths"
     )
     return result

@@ -26,11 +26,12 @@ from repro.experiments.common import ExperimentResult, get_profile
 from repro.experiments.linkruns import (
     calibrate_ml_snr,
     flexcore_pe_sweep,
-    make_engine,
     make_link_config,
     make_sampler_factory,
+    make_stack,
     ml_reference_detector,
     run_point,
+    runtime_stack_config,
 )
 from repro.flexcore.detector import FlexCoreDetector
 from repro.link.throughput import user_phy_rate_bps
@@ -63,6 +64,7 @@ def run(
     backend: str = "serial",
     streaming: bool = False,
     cells: int = 1,
+    stack_config=None,
 ) -> ExperimentResult:
     """Regenerate Fig. 9.
 
@@ -72,9 +74,18 @@ def run(
     wall-clock changes.  ``streaming=True`` routes detection through the
     slot-deadline scheduler sharded over ``cells`` cells instead of the
     direct batch engine — again bit-identical, exercising the streaming
-    service path end to end.
+    service path end to end.  ``stack_config`` (a
+    :class:`repro.api.StackConfig`, e.g. from the runner's ``--config``)
+    is authoritative over the individual flags and is embedded in the
+    saved result.
     """
     profile = get_profile(profile)
+    runtime_config = runtime_stack_config(
+        stack_config, backend=backend, streaming=streaming, cells=cells
+    )
+    backend = runtime_config.backend.name
+    streaming = runtime_config.farm.streaming
+    cells = runtime_config.farm.cells
     result = ExperimentResult(
         experiment="fig9",
         title="Fig. 9: network throughput vs available processing elements",
@@ -117,9 +128,7 @@ def run(
             # packets of its run (the trace sampler cycles frames).
             def measure(detector, seed_offset: int):
                 nonlocal scheduler_totals
-                with make_engine(
-                    detector, backend, streaming=streaming, cells=cells
-                ) as engine:
+                with make_stack(detector, runtime_config) as engine:
                     link = run_point(
                         config,
                         detector,
@@ -178,4 +187,5 @@ def run(
         # The streaming runtime's own story: saved with the JSON report
         # instead of being discarded with the engines.
         result.record_runtime("scheduler", scheduler_totals)
+    result.config = runtime_config.to_dict()
     return result

@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
+
 import numpy as np
 
+from repro.api import (
+    BackendSpec,
+    CacheSpec,
+    FarmSpec,
+    StackConfig,
+    UplinkStack,
+    build_stack,
+)
 from repro.channel.testbed import IndoorTestbed
 from repro.detectors.base import Detector
 from repro.detectors.sphere import SphereDecoder
@@ -14,7 +25,6 @@ from repro.link.channels import rayleigh_sampler, testbed_sampler
 from repro.link.config import LinkConfig
 from repro.link.simulation import LinkResult, simulate_link
 from repro.mimo.system import MimoSystem
-from repro.runtime.cells import StreamingUplinkEngine
 from repro.runtime.engine import BatchedUplinkEngine
 
 
@@ -65,30 +75,71 @@ def ml_reference_detector(
     return FlexCoreDetector(system, num_paths=proxy_paths)
 
 
+def runtime_stack_config(
+    stack_config: "StackConfig | None" = None,
+    backend: str = "serial",
+    streaming: bool = False,
+    cells: int = 1,
+    max_cache_entries: int = 4096,
+) -> StackConfig:
+    """The effective runtime :class:`~repro.api.StackConfig` of one run.
+
+    An explicit ``stack_config`` (e.g. from the runner's ``--config`` /
+    ``--preset``) is authoritative and returned with its detector spec
+    stripped — throughput experiments sweep their own detectors, so the
+    embedded config describes the runtime stack only — and its governor
+    detached: a PER/throughput measurement must run every swept
+    detector at its labelled path count with no admission control, or
+    the rows silently stop meaning what they say (the ``farm``
+    experiment is where governed behaviour is measured).  Otherwise one
+    is assembled from the legacy flag set; the cache is sized to hold
+    every (subcarrier, SNR-probe) context an experiment sweep touches
+    for one detector, so testbed traces that cycle their frames across
+    packets hit the cache on every revisit.
+    """
+    if stack_config is not None:
+        return replace(stack_config, detector=None, governor=None)
+    return StackConfig(
+        backend=BackendSpec(backend),
+        cache=CacheSpec(max_entries=max_cache_entries),
+        farm=FarmSpec(streaming=streaming or cells > 1, cells=cells),
+    )
+
+
+def make_stack(detector: Detector, config: StackConfig) -> UplinkStack:
+    """One experiment detector on the configured runtime stack.
+
+    ``streaming`` configs route every batch through the slot-deadline
+    scheduler sharded across the farm's cells
+    (:class:`~repro.runtime.cells.StreamingUplinkEngine`) instead of the
+    direct batch engine; results are bit-identical, only the execution
+    path changes.
+    """
+    return build_stack(config, detector=detector)
+
+
 def make_engine(
     detector: Detector,
     backend: str = "serial",
     streaming: bool = False,
     cells: int = 1,
 ):
-    """Runtime engine for one experiment detector.
+    """Deprecated: build the runtime through the config-first API.
 
-    The cache is sized to hold every (subcarrier, SNR-probe) context an
-    experiment sweep touches for one detector, so testbed traces that
-    cycle their frames across packets hit the cache on every revisit.
-
-    ``streaming=True`` routes every batch through the slot-deadline
-    scheduler sharded across ``cells`` cells
-    (:class:`~repro.runtime.cells.StreamingUplinkEngine`) instead of the
-    direct batch engine; results are bit-identical, only the execution
-    path changes.
+    Thin wrapper kept for callers of the pre-``repro.api`` surface;
+    equivalent to ``make_stack(detector, runtime_stack_config(...))``.
     """
-    if streaming:
-        return StreamingUplinkEngine(
-            detector, backend=backend, cells=cells, max_cache_entries=4096
-        )
-    return BatchedUplinkEngine(
-        detector, backend=backend, max_cache_entries=4096
+    warnings.warn(
+        "make_engine is deprecated; use make_stack(detector, "
+        "runtime_stack_config(...)) — or repro.api.build_stack directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_stack(
+        detector,
+        runtime_stack_config(
+            backend=backend, streaming=streaming, cells=cells
+        ),
     )
 
 
@@ -103,7 +154,9 @@ def calibrate_ml_snr(
     config = make_link_config(system, profile)
     detector = ml_reference_detector(system, profile)
     factory = make_sampler_factory(config, profile, channel_kind)
-    with make_engine(detector, backend) as engine:
+    with make_stack(
+        detector, runtime_stack_config(backend=backend)
+    ) as engine:
         result = find_snr_for_per(
             config,
             detector,
@@ -127,7 +180,7 @@ def run_point(
 ) -> LinkResult:
     """One PER/throughput measurement with common random numbers."""
     if engine is None:
-        engine = make_engine(detector)
+        engine = make_stack(detector, runtime_stack_config())
     return simulate_link(
         config,
         detector,

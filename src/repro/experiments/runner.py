@@ -4,21 +4,34 @@ Usage::
 
     python -m repro.experiments.runner --experiment fig9 --profile quick
     python -m repro.experiments.runner --all --out results/
+    python -m repro.experiments.runner --preset farm-overload --experiment farm
+    python -m repro.experiments.runner --config stack.json --experiment fig9
 
 Each experiment prints its table to stdout and optionally saves JSON.
+
+The runtime stack every experiment runs on is described by one
+:class:`repro.api.StackConfig`: load a whole stack from ``--config
+stack.json`` or a named ``--preset``, then layer the individual flags
+(``--backend`` / ``--streaming`` / ``--cells`` / ``--governor``) as
+overrides on top.  ``--dump-config`` writes the effective config back
+to disk, and every saved experiment JSON embeds it under ``"config"``
+so published results are reproducible from their own metadata.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
+from repro.api import BackendSpec, GovernorSpec, StackConfig, presets
 from repro.control import POLICY_NAMES
 from repro.control.workload import SCENARIOS
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments import get_profile
 from repro.experiments import (
     ablations,
@@ -54,6 +67,59 @@ EXPERIMENTS = {
 GOVERNOR_POLICIES = POLICY_NAMES
 
 
+def _load_base_config(args, parser) -> "StackConfig":
+    """The stack config the flags are layered onto."""
+    if args.config and args.preset:
+        parser.error("--config and --preset are mutually exclusive")
+    if args.preset:
+        try:
+            return presets.get(args.preset)
+        except ConfigurationError as error:
+            parser.error(str(error))
+    if args.config:
+        try:
+            payload = json.loads(Path(args.config).read_text())
+        except OSError as error:
+            parser.error(f"--config {args.config}: {error}")
+        except ValueError as error:
+            parser.error(f"--config {args.config}: invalid JSON ({error})")
+        try:
+            return StackConfig.from_dict(payload)
+        except ConfigurationError as error:
+            parser.error(f"--config {args.config}: {error}")
+    return StackConfig()
+
+
+def _layer_flags(config: StackConfig, args) -> StackConfig:
+    """Apply the individual CLI flags as overrides onto ``config``."""
+    if args.backend is not None:
+        config = replace(config, backend=BackendSpec(args.backend))
+    cells = args.cells if args.cells is not None else config.farm.cells
+    streaming = (
+        config.farm.streaming
+        or args.streaming
+        or cells > 1
+        or args.governor is not None
+        or config.governor is not None
+    )
+    if (
+        streaming != config.farm.streaming
+        or cells != config.farm.cells
+    ):
+        config = replace(
+            config,
+            farm=replace(config.farm, streaming=streaming, cells=cells),
+        )
+    if args.governor is not None:
+        governor = (
+            replace(config.governor, policy=args.governor)
+            if config.governor is not None
+            else GovernorSpec(policy=args.governor)
+        )
+        config = replace(config, governor=governor)
+    return config
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate FlexCore (NSDI'17) tables and figures."
@@ -73,6 +139,26 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", default=None, help="directory for JSON results"
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="load the whole runtime stack from a StackConfig JSON file "
+        "(see repro.api); the individual flags below override its fields",
+    )
+    parser.add_argument(
+        "--preset",
+        default=None,
+        help="start from a named StackConfig preset "
+        f"({', '.join(presets.names())}); flags override its fields",
+    )
+    parser.add_argument(
+        "--dump-config",
+        default=None,
+        metavar="PATH",
+        help="write the effective StackConfig JSON to PATH (usable "
+        "later via --config); with no --experiment/--all, dump and exit",
     )
     parser.add_argument(
         "--backend",
@@ -115,6 +201,20 @@ def main(argv=None) -> int:
     if args.cells is not None and args.cells < 1:
         parser.error("--cells must be >= 1")
 
+    base = _load_base_config(args, parser)
+    try:
+        effective = _layer_flags(base, args)
+    except ConfigurationError as error:
+        parser.error(str(error))
+    explicit_config = bool(args.config or args.preset)
+
+    if args.dump_config:
+        payload = json.dumps(effective.to_dict(), indent=2) + "\n"
+        Path(args.dump_config).write_text(payload)
+        print(f"[effective stack config written to {args.dump_config}]")
+        if not args.all and not args.experiment:
+            return 0
+
     if not args.all and not args.experiment:
         parser.error("choose --experiment NAME or --all")
     names = sorted(EXPERIMENTS) if args.all else [args.experiment]
@@ -137,11 +237,25 @@ def main(argv=None) -> int:
         requested["governor"] = args.governor
     if args.workload is not None:
         requested["workload"] = args.workload
+    if explicit_config:
+        # A --config / --preset stack is authoritative: derive the flag
+        # set every experiment understands from it, and hand the full
+        # config to experiments that accept it.
+        requested.setdefault("backend", effective.backend.name)
+        if effective.farm.streaming:
+            requested.setdefault("streaming", True)
+        requested.setdefault("cells", effective.farm.cells)
+        if effective.governor is not None:
+            requested.setdefault("governor", effective.governor.policy)
     for name in names:
         started = time.perf_counter()
         entry = EXPERIMENTS[name]
         parameters = inspect.signature(entry).parameters
         per_experiment = dict(requested)
+        if explicit_config and "stack_config" in parameters:
+            # The full config wins over the derived flags inside the
+            # experiment; the flags stay for experiments without it.
+            per_experiment["stack_config"] = effective
         # --cells N (> 1) implies streaming, but only for experiments
         # that actually route through the streaming engine — the farm
         # experiment takes cells without a streaming switch, and must
@@ -167,6 +281,11 @@ def main(argv=None) -> int:
         print(result.to_text_table())
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
+        if result.config is None:
+            # Experiments that wire their own stack embed their exact
+            # config; everything else records the runner-level one, so
+            # every saved JSON carries a parseable "config" block.
+            result.config = effective.to_dict()
         if out_dir:
             result.save_json(out_dir / f"{name}.json")
     return 0

@@ -14,10 +14,11 @@ import numpy as np
 
 from repro.experiments.common import ExperimentProfile, get_profile
 from repro.experiments.linkruns import (
-    make_engine,
     make_link_config,
     make_sampler_factory,
+    make_stack,
     ml_reference_detector,
+    runtime_stack_config,
 )
 from repro.flexcore.detector import FlexCoreDetector
 from repro.link.calibration import find_snr_for_per
@@ -66,8 +67,9 @@ def build_snr_loss_table(
     config = make_link_config(system, profile)
     factory = make_sampler_factory(config, profile, channel_kind)
 
+    runtime_config = runtime_stack_config(backend=backend)
     ml = ml_reference_detector(system, profile)
-    with make_engine(ml, backend) as engine:
+    with make_stack(ml, runtime_config) as engine:
         ml_result = find_snr_for_per(
             config,
             ml,
@@ -80,7 +82,7 @@ def build_snr_loss_table(
     losses = []
     for paths in path_grid:
         detector = FlexCoreDetector(system, num_paths=paths)
-        with make_engine(detector, backend) as engine:
+        with make_stack(detector, runtime_config) as engine:
             calibrated = find_snr_for_per(
                 config,
                 detector,

@@ -119,6 +119,7 @@ def simulate_link(
     counter: FlopCounter = NULL_COUNTER,
     use_soft: bool = False,
     engine: BatchedUplinkEngine | None = None,
+    stack_config=None,
 ) -> LinkResult:
     """Run ``num_packets`` coded packets through the link.
 
@@ -147,15 +148,40 @@ def simulate_link(
         :class:`repro.flexcore.soft.SoftFlexCoreDetector`).
     engine:
         Optional pre-built :class:`~repro.runtime.engine.BatchedUplinkEngine`
-        wrapping ``detector`` (e.g. with a process-pool backend, or with
-        a cache shared across SNR points).  By default a fresh
-        serial-backend engine is created for the call, whose context
+        (or :class:`~repro.api.UplinkStack`) wrapping ``detector`` (e.g.
+        with a process-pool backend, or with a cache shared across SNR
+        points).  By default a fresh serial-backend stack is built for
+        the call through :func:`repro.api.build_stack`, whose context
         cache amortises ``prepare`` across the packets of the run — the
         §4 coherence amortisation — whenever the sampler replays channel
         matrices (static packets, cycling testbed traces).
+    stack_config:
+        Optional :class:`~repro.api.StackConfig` describing the runtime
+        stack to build around ``detector`` when no ``engine`` is given
+        (its own detector spec, if any, is ignored in favour of the
+        live instance).
     """
     if engine is None:
-        engine = BatchedUplinkEngine(detector)
+        from repro.api import StackConfig, build_stack
+
+        # Build the stack here, own it here: re-enter with the stack as
+        # the engine so the context manager releases backend resources
+        # (a process pool, say) when the run finishes.
+        with build_stack(
+            stack_config if stack_config is not None else StackConfig(),
+            detector=detector,
+        ) as stack:
+            return simulate_link(
+                config,
+                detector,
+                snr_db,
+                num_packets,
+                channel_sampler,
+                rng=rng,
+                counter=counter,
+                use_soft=use_soft,
+                engine=stack,
+            )
     elif engine.detector is not detector:
         raise LinkSimulationError(
             "engine wraps a different detector instance than the one "

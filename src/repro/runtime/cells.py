@@ -22,6 +22,7 @@ the equivalence suite pins bit-identical to the batch engine.
 from __future__ import annotations
 
 import asyncio
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,16 +48,26 @@ from repro.utils.flops import NULL_COUNTER, FlopCounter
 
 @dataclass
 class CellStats:
-    """Per-cell streaming counters, updated on every flush."""
+    """Per-cell streaming counters, updated on every flush.
+
+    The cell's cache movement lives in the ``cache``
+    :class:`~repro.runtime.cache.CacheStats` snapshot (accumulated
+    flush deltas).  The flat ``contexts_prepared`` / ``cache_hits``
+    attributes from the pre-snapshot era survive as deprecated aliases
+    of ``cache.misses`` / ``cache.hits`` — reading them warns with the
+    migration target, exactly as the batch engine's
+    :class:`~repro.runtime.batch.RuntimeStats` aliases do.
+    """
 
     frames: int = 0
     flushes: int = 0
     frames_on_time: int = 0
     frames_late: int = 0
-    contexts_prepared: int = 0
-    cache_hits: int = 0
     #: Frames refused by the control plane's admission control.
     frames_shed: int = 0
+    #: The cell's accumulated cache movement (hits/misses/evictions are
+    #: summed flush deltas; ``entries`` is the latest occupancy).
+    cache: CacheStats = field(default_factory=CacheStats)
 
     def account(
         self,
@@ -70,13 +81,51 @@ class CellStats:
             frames_on_time = record.frames if record.deadline_met else 0
         self.frames_on_time += frames_on_time
         self.frames_late += record.frames - frames_on_time
-        self.contexts_prepared += cache_delta.misses
-        self.cache_hits += cache_delta.hits
+        self.cache = CacheStats(
+            hits=self.cache.hits + cache_delta.hits,
+            misses=self.cache.misses + cache_delta.misses,
+            evictions=self.cache.evictions + cache_delta.evictions,
+            entries=cache_delta.entries,
+        )
 
     @property
     def deadline_hit_rate(self) -> float:
         total = self.frames_on_time + self.frames_late
         return self.frames_on_time / total if total else 1.0
+
+    @property
+    def contexts_prepared(self) -> int:
+        """Deprecated alias of ``cache.misses`` (reading it warns)."""
+        warnings.warn(
+            "CellStats.contexts_prepared is deprecated; read "
+            "stats.cache.misses instead (a CacheStats snapshot)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cache.misses
+
+    @property
+    def cache_hits(self) -> int:
+        """Deprecated alias of ``cache.hits`` (reading it warns)."""
+        warnings.warn(
+            "CellStats.cache_hits is deprecated; read stats.cache.hits "
+            "instead (a CacheStats snapshot)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cache.hits
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (what ``UplinkStack.stats`` surfaces)."""
+        return {
+            "frames": self.frames,
+            "flushes": self.flushes,
+            "frames_on_time": self.frames_on_time,
+            "frames_late": self.frames_late,
+            "frames_shed": self.frames_shed,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "cache": self.cache.as_dict(),
+        }
 
 
 class Cell:
@@ -207,8 +256,10 @@ class StreamingUplinkEngine:
         cells: int = 1,
         batch_target: "int | None" = None,
         slot_budget_s: float = float("inf"),
+        flush_margin_s: float = 0.0,
         max_cache_entries: int = 1024,
         governor=None,
+        cell_prefix: str = "cell",
     ):
         if cells < 1:
             raise ConfigurationError("cells must be >= 1")
@@ -216,11 +267,14 @@ class StreamingUplinkEngine:
         self.farm = CellFarm(backend)
         for index in range(cells):
             self.farm.add_cell(
-                f"cell{index}", detector, max_cache_entries=max_cache_entries
+                f"{cell_prefix}{index}",
+                detector,
+                max_cache_entries=max_cache_entries,
             )
         self.num_cells = int(cells)
         self.batch_target = batch_target
         self.slot_budget_s = slot_budget_s
+        self.flush_margin_s = float(flush_margin_s)
         #: Optional :class:`~repro.control.governor.ComputeGovernor`
         #: attached to every scheduler this engine spins up; persists
         #: across ``detect_batch`` calls so control state (AIMD budgets,
@@ -295,6 +349,7 @@ class StreamingUplinkEngine:
         async with self.farm.scheduler(
             batch_target=target,
             slot_budget_s=self.slot_budget_s,
+            flush_margin_s=self.flush_margin_s,
             use_soft=use_soft,
             counter=counter,
             governor=self.governor,

@@ -88,6 +88,7 @@ class BatchedUplinkEngine:
             self._owns_service = True
         self.cache_contexts = bool(cache_contexts)
         self._cache = ContextCache(max_entries=max_cache_entries)
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -110,7 +111,17 @@ class BatchedUplinkEngine:
         self._cache.clear()
 
     def close(self) -> None:
-        """Release backend resources, unless the service is shared."""
+        """Release backend resources, unless the service is shared.
+
+        Idempotent for owned *and* shared services: a second ``close``
+        (a ``with`` block around an engine someone also closed
+        explicitly, say) is a no-op either way, and closing an engine
+        that merely borrows a shared service never tears that service
+        down for its other users.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._owns_service:
             self.service.close()
 

@@ -1,0 +1,70 @@
+"""The preset registry: named, buildable, catalogued stacks."""
+
+import pytest
+
+from repro.api import StackConfig, build_stack, presets
+from repro.errors import ConfigurationError
+
+
+class TestCatalogue:
+    def test_expected_names(self):
+        assert presets.names() == (
+            "ap-farm",
+            "array-soft",
+            "farm-overload",
+            "paper-fig9",
+        )
+
+    def test_names_are_sorted(self):
+        assert list(presets.names()) == sorted(presets.names())
+
+    def test_unknown_preset_lists_catalogue(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            presets.get("mega-farm")
+        message = str(excinfo.value)
+        for name in presets.names():
+            assert name in message
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            presets.get(None)
+
+
+class TestPresetShapes:
+    def test_every_preset_is_a_valid_config(self):
+        for name in presets.names():
+            config = presets.get(name)
+            assert isinstance(config, StackConfig)
+            assert config.detector is not None
+
+    def test_presets_return_fresh_instances(self):
+        assert presets.get("paper-fig9") == presets.get("paper-fig9")
+
+    def test_paper_fig9_is_batch_serial(self):
+        config = presets.get("paper-fig9")
+        assert not config.farm.streaming
+        assert config.backend.name == "serial"
+        assert config.detector.name == "flexcore"
+
+    def test_ap_farm_is_streaming(self):
+        config = presets.get("ap-farm")
+        assert config.farm.streaming
+        assert config.farm.cells == 4
+        assert config.governor is None
+
+    def test_farm_overload_is_governed(self):
+        config = presets.get("farm-overload")
+        assert config.farm.streaming
+        assert config.governor is not None
+        assert config.governor.policy == "aimd"
+        assert config.backend.name == "array"
+
+    def test_array_soft_supports_soft(self):
+        with build_stack(presets.get("array-soft")) as stack:
+            assert stack.supports_soft
+            assert stack.backend.name == "array"
+
+    def test_every_preset_builds(self):
+        for name in presets.names():
+            with build_stack(presets.get(name)) as stack:
+                assert stack.detector is not None

@@ -1,0 +1,309 @@
+"""Spec validation and JSON round-trip tests for ``repro.api``.
+
+The config-first contract: every valid :class:`StackConfig` survives
+``to_dict`` -> ``json`` -> ``from_dict`` unchanged (the hypothesis
+property), and every malformed payload — unknown keys, bad registry
+names, cross-field violations — is rejected at construction with a
+:class:`~repro.errors.ConfigurationError`.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    BackendSpec,
+    CacheSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+)
+from repro.control.policy import POLICY_NAMES
+from repro.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------------
+# Strategies: generate *valid* configs only (invalid ones are the
+# rejection tests' job).
+# ---------------------------------------------------------------------------
+
+detector_specs = st.builds(
+    DetectorSpec,
+    name=st.sampled_from(["flexcore", "mmse", "zf", "soft-flexcore"]),
+    num_streams=st.integers(min_value=2, max_value=8),
+    num_rx_antennas=st.none(),
+    qam_order=st.sampled_from([4, 16, 64]),
+    params=st.one_of(
+        st.just({}),
+        st.fixed_dictionaries(
+            {"num_paths": st.integers(min_value=1, max_value=64)}
+        ),
+    ),
+).filter(
+    # detectors that require num_paths get it; the rest get none
+    lambda spec: ("num_paths" in spec.params)
+    == (spec.name in ("flexcore", "soft-flexcore"))
+)
+
+backend_specs = st.one_of(
+    st.builds(BackendSpec, name=st.just("serial")),
+    st.builds(
+        BackendSpec,
+        name=st.just("process-pool"),
+        max_workers=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=4)
+        ),
+    ),
+    st.builds(
+        BackendSpec,
+        name=st.just("array"),
+        array_module=st.one_of(st.none(), st.just("numpy")),
+    ),
+)
+
+cache_specs = st.builds(
+    CacheSpec,
+    enabled=st.booleans(),
+    max_entries=st.integers(min_value=1, max_value=4096),
+)
+
+governor_specs = st.builds(
+    GovernorSpec,
+    policy=st.sampled_from(POLICY_NAMES),
+    paths_min=st.integers(min_value=1, max_value=4),
+    paths_max=st.integers(min_value=4, max_value=128),
+    increase=st.integers(min_value=1, max_value=4),
+    backoff=st.floats(min_value=0.1, max_value=0.9),
+    headroom=st.floats(min_value=0.1, max_value=1.0),
+    target_error_rate=st.floats(min_value=0.01, max_value=0.5),
+    total_path_budget=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=512)
+    ),
+    probe_every=st.integers(min_value=1, max_value=16),
+)
+
+scheduler_specs = st.builds(
+    SchedulerSpec,
+    batch_target=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=16)
+    ),
+    slot_budget_s=st.one_of(
+        st.none(), st.floats(min_value=1e-4, max_value=10.0)
+    ),
+    flush_margin_s=st.floats(min_value=0.0, max_value=1e-3),
+)
+
+
+@st.composite
+def stack_configs(draw):
+    """Valid whole-stack configs across batch/streaming x governed."""
+    streaming = draw(st.booleans())
+    farm = FarmSpec(
+        streaming=streaming,
+        cells=draw(st.integers(min_value=1, max_value=4))
+        if streaming
+        else 1,
+    )
+    cache = draw(cache_specs)
+    if streaming and not cache.enabled:
+        cache = CacheSpec(enabled=True, max_entries=cache.max_entries)
+    return StackConfig(
+        detector=draw(st.one_of(st.none(), detector_specs)),
+        backend=draw(backend_specs),
+        cache=cache,
+        farm=farm,
+        scheduler=draw(scheduler_specs) if streaming else SchedulerSpec(),
+        governor=draw(st.one_of(st.none(), governor_specs))
+        if streaming
+        else None,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(config=stack_configs())
+    def test_json_round_trip_is_identity(self, config):
+        """from_dict(to_dict(c)) == c, through real JSON text."""
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert StackConfig.from_dict(payload) == config
+
+    @settings(max_examples=50, deadline=None)
+    @given(config=stack_configs())
+    def test_to_dict_is_json_native(self, config):
+        # json.dumps with allow_nan=False rejects inf/nan — the payload
+        # must be strictly portable JSON.
+        json.dumps(config.to_dict(), allow_nan=False)
+
+    def test_presets_round_trip(self):
+        from repro.api import presets
+
+        for name in presets.names():
+            config = presets.get(name)
+            payload = json.loads(json.dumps(config.to_dict()))
+            assert StackConfig.from_dict(payload) == config
+
+
+class TestUnknownKeys:
+    def test_top_level_unknown_key(self):
+        payload = StackConfig().to_dict()
+        payload["detecter"] = None
+        with pytest.raises(ConfigurationError, match="detecter"):
+            StackConfig.from_dict(payload)
+
+    def test_nested_unknown_key(self):
+        payload = StackConfig().to_dict()
+        payload["backend"]["workers"] = 4
+        with pytest.raises(ConfigurationError, match="workers"):
+            StackConfig.from_dict(payload)
+
+    def test_detector_unknown_key(self):
+        payload = {"name": "flexcore", "num_streams": 4, "paths": 8}
+        with pytest.raises(ConfigurationError, match="paths"):
+            DetectorSpec.from_dict(payload)
+
+    def test_non_mapping_payload(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            StackConfig.from_dict("not a dict")
+
+
+class TestBadEnumValues:
+    def test_unknown_detector_name(self):
+        with pytest.raises(ConfigurationError, match="unknown detector"):
+            DetectorSpec("flexcure", 4)
+
+    def test_unknown_backend_name(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            BackendSpec("gpu")
+
+    def test_unknown_policy_name(self):
+        with pytest.raises(ConfigurationError, match="unknown governor"):
+            GovernorSpec(policy="pid")
+
+    def test_unknown_array_module(self):
+        with pytest.raises(ConfigurationError, match="array_module"):
+            BackendSpec("array", array_module="jax")
+
+    def test_bad_qam_order(self):
+        with pytest.raises(ConfigurationError, match="qam_order"):
+            DetectorSpec("flexcore", 4, qam_order=5)
+
+
+class TestFieldValidation:
+    def test_negative_streams(self):
+        with pytest.raises(ConfigurationError, match="num_streams"):
+            DetectorSpec("mmse", 0)
+
+    def test_rx_below_streams(self):
+        with pytest.raises(ConfigurationError, match="num_rx_antennas"):
+            DetectorSpec("mmse", 4, num_rx_antennas=2)
+
+    def test_non_string_param_keys(self):
+        with pytest.raises(ConfigurationError, match="params"):
+            DetectorSpec("mmse", 4, params={1: 2})
+
+    def test_cache_needs_entries(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            CacheSpec(max_entries=0)
+
+    def test_scheduler_rejects_zero_budget(self):
+        with pytest.raises(ConfigurationError, match="slot budget"):
+            SchedulerSpec(slot_budget_s=0.0)
+
+    def test_farm_needs_a_cell(self):
+        with pytest.raises(ConfigurationError, match="cells"):
+            FarmSpec(cells=0)
+
+    def test_governor_bounds_ordered(self):
+        with pytest.raises(ConfigurationError, match="paths_max"):
+            GovernorSpec(paths_min=8, paths_max=4)
+
+    def test_governor_start_within_bounds(self):
+        with pytest.raises(ConfigurationError, match="start"):
+            GovernorSpec(paths_min=2, paths_max=8, start=16)
+
+    def test_max_workers_on_serial_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            BackendSpec("serial", max_workers=4)
+
+    def test_array_module_on_serial_rejected(self):
+        with pytest.raises(ConfigurationError, match="array_module"):
+            BackendSpec("serial", array_module="numpy")
+
+
+class TestCrossFieldValidation:
+    def test_governor_without_streaming(self):
+        with pytest.raises(ConfigurationError, match="governor requires"):
+            StackConfig(governor=GovernorSpec())
+
+    def test_cells_without_streaming(self):
+        with pytest.raises(ConfigurationError, match="streaming"):
+            StackConfig(farm=FarmSpec(streaming=False, cells=3))
+
+    def test_scheduler_without_streaming(self):
+        with pytest.raises(ConfigurationError, match="scheduler settings"):
+            StackConfig(scheduler=SchedulerSpec(batch_target=7))
+
+    def test_streaming_without_cache(self):
+        with pytest.raises(ConfigurationError, match="cache"):
+            StackConfig(
+                cache=CacheSpec(enabled=False),
+                farm=FarmSpec(streaming=True),
+            )
+
+    def test_wrong_spec_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="BackendSpec"):
+            StackConfig(backend="serial")
+
+
+class TestSpecHelpers:
+    def test_detector_spec_builds_named_detector(self):
+        spec = DetectorSpec("flexcore", 4, params={"num_paths": 8})
+        detector = spec.build()
+        assert detector.name == "flexcore"
+        assert detector.num_paths == 8
+        assert detector.system.num_streams == 4
+        assert detector.system.num_rx_antennas == 4
+
+    def test_backend_spec_builds_named_backend(self):
+        backend = BackendSpec("process-pool", max_workers=2).build()
+        try:
+            assert backend.name == "process-pool"
+            assert backend.max_workers == 2
+        finally:
+            backend.close()
+
+    def test_governor_spec_builds_each_policy(self, constellation):
+        for policy in POLICY_NAMES:
+            spec = GovernorSpec(policy=policy, paths_min=2, paths_max=16)
+            governor = spec.build(constellation=constellation)
+            assert governor.policy.name == policy
+            assert governor.policy.paths_min in (2, 16)  # static pins max
+            assert governor.policy.paths_max == 16
+
+    def test_snr_policy_needs_constellation(self):
+        spec = GovernorSpec(policy="snr")
+        with pytest.raises(ConfigurationError, match="constellation"):
+            spec.build_policy()
+
+    def test_scheduler_none_budget_maps_to_inf(self):
+        import math
+
+        assert SchedulerSpec().effective_slot_budget_s == math.inf
+        assert SchedulerSpec(
+            slot_budget_s=0.5
+        ).effective_slot_budget_s == 0.5
+
+    def test_farm_cell_ids(self):
+        farm = FarmSpec(streaming=True, cells=3, cell_prefix="ap")
+        assert farm.cell_ids() == ("ap0", "ap1", "ap2")
+
+    def test_with_detector_replaces_only_detector(self):
+        config = StackConfig(detector=DetectorSpec("mmse", 4))
+        stripped = config.with_detector(None)
+        assert stripped.detector is None
+        assert stripped.backend == config.backend
+        assert config.detector is not None  # original untouched

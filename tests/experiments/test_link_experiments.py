@@ -105,6 +105,16 @@ class TestFig9:
         )
         assert rows[-1]["per"] <= rows[0]["per"] + 0.05
 
+    def test_embeds_parseable_runtime_config(self, fig9_result):
+        """Saved fig9 JSON reproduces its runtime stack from metadata."""
+        from repro.api import StackConfig
+
+        assert fig9_result.config is not None
+        config = StackConfig.from_dict(fig9_result.config)
+        # Detector-sweeping experiments embed the runtime only.
+        assert config.detector is None
+        assert config.backend.name == "serial"
+
 
 class TestFig10:
     @pytest.fixture(scope="class")

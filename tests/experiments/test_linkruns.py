@@ -8,10 +8,13 @@ from repro.experiments.common import PROFILES
 from repro.experiments.linkruns import (
     calibrate_ml_snr,
     flexcore_pe_sweep,
+    make_engine,
     make_link_config,
     make_sampler_factory,
+    make_stack,
     ml_reference_detector,
     run_point,
+    runtime_stack_config,
 )
 from repro.flexcore.detector import FlexCoreDetector
 from repro.mimo.system import MimoSystem
@@ -45,6 +48,50 @@ class TestConfig:
         factory = make_sampler_factory(config, TINY, "rayleigh")
         channels = factory()(0, np.random.default_rng(1))
         assert channels.shape == (TINY.subcarriers, 4, 4)
+
+
+class TestRuntimeStackConfig:
+    def test_flags_build_batch_config(self):
+        config = runtime_stack_config(backend="array")
+        assert config.backend.name == "array"
+        assert not config.farm.streaming
+        assert config.cache.max_entries == 4096
+
+    def test_cells_imply_streaming(self):
+        config = runtime_stack_config(cells=3)
+        assert config.farm.streaming
+        assert config.farm.cells == 3
+
+    def test_explicit_config_strips_detector_and_governor(self):
+        """Throughput experiments sweep their own detectors at their
+        labelled path counts: an explicit config's detector AND
+        governor must both be detached, or a governed preset would
+        silently shed/clamp mid-measurement."""
+        from repro.api import presets
+
+        config = runtime_stack_config(presets.get("farm-overload"))
+        assert config.detector is None
+        assert config.governor is None
+        # The runtime half survives untouched.
+        assert config.backend.name == "array"
+        assert config.farm.streaming and config.farm.cells == 2
+
+    def test_stripped_config_builds_ungoverned_stack(self, system):
+        from repro.api import presets
+
+        detector = FlexCoreDetector(system, num_paths=8)
+        config = runtime_stack_config(presets.get("farm-overload"))
+        with make_stack(detector, config) as stack:
+            assert stack.governor is None
+            assert stack.engine.governor is None
+
+    def test_make_engine_is_deprecated_but_equivalent(self, system):
+        detector = FlexCoreDetector(system, num_paths=8)
+        with pytest.warns(DeprecationWarning, match="make_engine"):
+            engine = make_engine(detector, backend="serial")
+        with engine:
+            assert engine.detector is detector
+            assert engine.backend.name == "serial"
 
 
 class TestMlReference:

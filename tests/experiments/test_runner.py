@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.api import StackConfig, presets
 from repro.experiments.runner import EXPERIMENTS, main
 
 
@@ -191,3 +192,142 @@ class TestControlPlaneFlags:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["--experiment", "farm", "--workload", "tsunami"])
+
+
+class TestConfigFlags:
+    @staticmethod
+    def _stub_result():
+        from repro.experiments.common import ExperimentResult
+
+        result = ExperimentResult(
+            experiment="stub", title="Stub", profile="quick", columns=["x"]
+        )
+        result.add_row(x=1)
+        return result
+
+    def test_dump_config_without_experiment(self, tmp_path):
+        path = tmp_path / "stack.json"
+        code = main(
+            ["--preset", "farm-overload", "--dump-config", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert StackConfig.from_dict(payload) == presets.get(
+            "farm-overload"
+        )
+
+    def test_config_file_round_trips_into_experiment(
+        self, tmp_path, monkeypatch
+    ):
+        """--dump-config output feeds --config: the file path end-to-end."""
+        captured = {}
+
+        def stub(profile, backend="serial", streaming=False, cells=1,
+                 stack_config=None):
+            captured["stack_config"] = stack_config
+            captured["backend"] = backend
+            captured["cells"] = cells
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        path = tmp_path / "stack.json"
+        assert main(["--preset", "ap-farm", "--dump-config", str(path)]) == 0
+        code = main(["--experiment", "stub", "--config", str(path)])
+        assert code == 0
+        assert captured["stack_config"] == presets.get("ap-farm")
+        assert captured["backend"] == "serial"
+        assert captured["cells"] == 4
+
+    def test_flags_layer_over_preset(self, monkeypatch):
+        captured = {}
+
+        def stub(profile, backend="serial", stack_config=None):
+            captured["stack_config"] = stack_config
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        code = main(
+            [
+                "--experiment",
+                "stub",
+                "--preset",
+                "paper-fig9",
+                "--backend",
+                "array",
+                "--cells",
+                "2",
+            ]
+        )
+        assert code == 0
+        config = captured["stack_config"]
+        assert config.backend.name == "array"  # flag override
+        assert config.farm.cells == 2
+        assert config.farm.streaming  # implied by --cells 2
+        assert config.detector == presets.get("paper-fig9").detector
+
+    def test_unknown_preset_rejected_with_catalogue(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table3", "--preset", "mega-farm"])
+        err = capsys.readouterr().err
+        assert "ap-farm" in err and "paper-fig9" in err
+
+    def test_config_and_preset_mutually_exclusive(self, tmp_path):
+        path = tmp_path / "stack.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--experiment",
+                    "table3",
+                    "--config",
+                    str(path),
+                    "--preset",
+                    "ap-farm",
+                ]
+            )
+
+    def test_invalid_config_file_rejected(self, tmp_path, capsys):
+        path = tmp_path / "stack.json"
+        path.write_text(json.dumps({"detecter": {}}))
+        with pytest.raises(SystemExit):
+            main(["--experiment", "table3", "--config", str(path)])
+        assert "detecter" in capsys.readouterr().err
+
+    def test_saved_json_always_embeds_parseable_config(
+        self, tmp_path, monkeypatch
+    ):
+        """Every runner-saved JSON carries a config block from_dict
+        accepts — even for experiments that know nothing of stacks."""
+
+        def stub(profile):
+            return self._stub_result()
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        code = main(
+            ["--experiment", "stub", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "stub.json").read_text())
+        assert StackConfig.from_dict(payload["config"]) == StackConfig()
+
+    def test_fig9_style_experiment_config_wins(self, monkeypatch):
+        """A stack_config-aware experiment gets the authoritative config
+        rather than having to re-derive it from flags."""
+        captured = {}
+
+        def stub(profile, stack_config=None):
+            captured["stack_config"] = stack_config
+            result = self._stub_result()
+            result.config = (
+                stack_config.to_dict() if stack_config else None
+            )
+            return result
+
+        monkeypatch.setitem(EXPERIMENTS, "stub", stub)
+        assert (
+            main(["--experiment", "stub", "--preset", "farm-overload"])
+            == 0
+        )
+        assert (
+            captured["stack_config"].governor.policy == "aimd"
+        )

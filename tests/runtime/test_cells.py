@@ -91,8 +91,14 @@ class TestPerCellCacheIsolation:
             assert stats == CacheStats(
                 hits=1, misses=1, evictions=0, entries=1
             )
-            assert farm[cell_id].stats.contexts_prepared == 1
-            assert farm[cell_id].stats.cache_hits == 1
+            assert farm[cell_id].stats.cache.misses == 1
+            assert farm[cell_id].stats.cache.hits == 1
+            # The flat pre-snapshot aliases still read correctly but
+            # deprecation-warn with the migration target.
+            with pytest.warns(DeprecationWarning, match="cache.misses"):
+                assert farm[cell_id].stats.contexts_prepared == 1
+            with pytest.warns(DeprecationWarning, match="cache.hits"):
+                assert farm[cell_id].stats.cache_hits == 1
 
     def test_one_cells_churn_cannot_evict_neighbour(self, system, rng):
         detector = FlexCoreDetector(system, num_paths=8)

@@ -176,3 +176,38 @@ class TestSharedService:
         assert not closed
         service.close()
         assert closed
+
+    def test_double_close_idempotent_on_shared_service(
+        self, system, rng
+    ):
+        """Closing a borrowing engine twice never touches the shared
+        service, which stays usable by its other engines."""
+        batch = make_batch(system, rng)
+        closed = []
+        service = DetectionService()
+        service.backend.close = lambda: closed.append(True)
+        a = BatchedUplinkEngine(FlexCoreDetector(system, num_paths=8), service)
+        b = BatchedUplinkEngine(FlexCoreDetector(system, num_paths=8), service)
+        a.close()
+        a.close()  # second close: no-op, not an error
+        assert not closed
+        # The sibling engine still detects on the shared service.
+        result = b.detect_batch(batch)
+        assert result.indices.shape[0] == batch.num_subcarriers
+        b.close()
+        b.close()
+        assert not closed
+
+    def test_double_close_idempotent_on_owned_service(self, detector):
+        closed = []
+        engine = BatchedUplinkEngine(detector)
+        engine.service.backend.close = lambda: closed.append(True)
+        engine.close()
+        engine.close()
+        assert closed == [True]  # released exactly once
+
+    def test_context_manager_after_explicit_close(self, detector):
+        with BatchedUplinkEngine(detector) as engine:
+            engine.close()
+        # __exit__ re-closing must be a no-op (this line not raising is
+        # the assertion)
