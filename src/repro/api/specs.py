@@ -316,21 +316,31 @@ class FarmSpec:
     cell_prefix:
         Cell ids are ``f"{cell_prefix}{index}"`` — the naming every
         farm driver in the repo shares.
+    cell_offset:
+        First cell index this farm serves: ids run
+        ``prefix{offset} .. prefix{offset + cells - 1}``.  Zero for a
+        whole farm; non-zero slices are what
+        :meth:`StackConfig.split_cells` hands each coordinated worker
+        so global cell ids stay unique across the fleet.
     """
 
     streaming: bool = False
     cells: int = 1
     cell_prefix: str = "cell"
+    cell_offset: int = 0
 
     def __post_init__(self) -> None:
         if self.cells < 1:
             raise ConfigurationError("cells must be >= 1")
         if not self.cell_prefix:
             raise ConfigurationError("cell_prefix must be non-empty")
+        if self.cell_offset < 0:
+            raise ConfigurationError("cell_offset must be >= 0")
 
     def cell_ids(self) -> "tuple[str, ...]":
         return tuple(
-            f"{self.cell_prefix}{index}" for index in range(self.cells)
+            f"{self.cell_prefix}{self.cell_offset + index}"
+            for index in range(self.cells)
         )
 
     def to_dict(self) -> dict:
@@ -338,6 +348,7 @@ class FarmSpec:
             "streaming": self.streaming,
             "cells": self.cells,
             "cell_prefix": self.cell_prefix,
+            "cell_offset": self.cell_offset,
         }
 
     @classmethod
@@ -574,6 +585,59 @@ class StackConfig:
     def with_detector(self, detector: "DetectorSpec | None") -> "StackConfig":
         """This config with the detector spec swapped."""
         return replace(self, detector=detector)
+
+    def split_cells(self, workers: int) -> "tuple[StackConfig, ...]":
+        """Partition this streaming farm's cells across ``workers``.
+
+        The coordination primitive of the multi-process farm: each
+        returned config describes one worker's contiguous slice of the
+        cells (balanced to within one cell, ``cell_offset`` keeping the
+        global cell ids unique), with every other layer — detector,
+        backend, cache, scheduler, governor policy — copied verbatim,
+        so ``build_stack(slice)`` in a fresh process rebuilds exactly
+        that worker's share of the farm.  The concatenated
+        ``farm.cell_ids()`` of the slices equal this config's
+        (property-tested).
+
+        A ``governor.total_path_budget`` is *not* copied into the
+        slices: that budget bounds the whole fleet, and per-worker
+        governors each applying it to their own subset would multiply
+        the pool by the worker count.  The coordinator applies it
+        globally instead (see
+        :class:`~repro.farm.coordinator.FarmCoordinator`).
+        """
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if not self.farm.streaming:
+            raise ConfigurationError(
+                "split_cells needs a streaming farm (set "
+                "farm.streaming=true); a batch stack has no cells to "
+                "partition"
+            )
+        if workers > self.farm.cells:
+            raise ConfigurationError(
+                f"cannot split {self.farm.cells} cells across {workers} "
+                "workers (at least one cell per worker)"
+            )
+        governor = self.governor
+        if governor is not None and governor.total_path_budget is not None:
+            governor = replace(governor, total_path_budget=None)
+        share, extra = divmod(self.farm.cells, workers)
+        configs = []
+        offset = self.farm.cell_offset
+        for index in range(workers):
+            cells = share + (1 if index < extra else 0)
+            configs.append(
+                replace(
+                    self,
+                    farm=replace(
+                        self.farm, cells=cells, cell_offset=offset
+                    ),
+                    governor=governor,
+                )
+            )
+            offset += cells
+        return tuple(configs)
 
     def describe(self) -> str:
         """One-line human summary (for notes and logs)."""

@@ -276,6 +276,7 @@ def build_stack(
             backend=backend,
             cells=config.farm.cells,
             cell_prefix=config.farm.cell_prefix,
+            cell_offset=config.farm.cell_offset,
             batch_target=config.scheduler.batch_target,
             slot_budget_s=config.scheduler.effective_slot_budget_s,
             flush_margin_s=config.scheduler.flush_margin_s,

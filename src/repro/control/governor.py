@@ -383,6 +383,54 @@ class ComputeGovernor:
                 lane.shedding = False
                 self.telemetry.sheds_ended += 1
 
+    # -- fleet coordination ----------------------------------------------
+    def desired_budgets(self, cell_ids=None) -> "dict[str, int]":
+        """Per-cell budgets the local control law currently wants.
+
+        The fleet-coordination *desires*: a
+        :class:`~repro.farm.coordinator.FarmCoordinator` collects these
+        from every worker's governor, fits them under the one global
+        path budget with
+        :func:`~repro.control.policy.allocate_budget`, and pushes the
+        awards back through :meth:`install_budgets`.  ``cell_ids``
+        (optional) forces lanes into existence for cells that have not
+        flushed yet, so a fleet tick covers every cell from the first
+        window.
+        """
+        for cell_id in cell_ids or ():
+            self._lane(cell_id)
+        return {
+            cell_id: lane.budget for cell_id, lane in self._lanes.items()
+        }
+
+    def floor_budgets(self, cell_ids=None) -> "dict[str, int]":
+        """Per-cell floors (``policy.paths_min``) for global allocation."""
+        for cell_id in cell_ids or ():
+            self._lane(cell_id)
+        return {
+            cell_id: lane.policy.paths_min
+            for cell_id, lane in self._lanes.items()
+        }
+
+    def install_budgets(self, budgets: "dict[str, int]") -> None:
+        """Install externally-awarded budgets (a global allocation).
+
+        Each award is clamped to the lane policy's ``[paths_min,
+        paths_max]`` and takes effect on the cell's next flush; budget
+        moves are counted in the governor telemetry like local ticks.
+        Stateful policies (AIMD) keep their own internal state — the
+        next local tick proposes from where the policy left off, with
+        the coordinator again fitting the proposal globally.
+        """
+        for cell_id, budget in budgets.items():
+            lane = self._lane(cell_id)
+            awarded = lane.policy.clamp(int(budget))
+            if awarded > lane.budget:
+                self.telemetry.budget_increases += 1
+            elif awarded < lane.budget:
+                self.telemetry.budget_decreases += 1
+            lane.budget = awarded
+
     # -- reporting -------------------------------------------------------
     def budgets(self) -> "dict[str, int]":
         return {

@@ -377,6 +377,16 @@ def allocate_budget(
         return {}
     if isinstance(floors, int):
         floors = {cell: floors for cell in desired}
+    else:
+        # A floor naming a cell nobody desires is almost always a typo'd
+        # cell id — silently ignoring it would leave the real cell
+        # unprotected at the default floor of 1.
+        unknown = sorted(set(floors) - set(desired))
+        if unknown:
+            raise ConfigurationError(
+                f"floors name cells not in desired: {unknown}; desired "
+                f"cells: {sorted(desired)}"
+            )
     for cell, want in desired.items():
         floor = floors.get(cell, 1)
         if want < floor:

@@ -12,6 +12,24 @@ import numpy as np
 from repro.errors import ExperimentError
 
 
+def atomic_write_text(path: "str | Path", text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The bytes land in a ``*.tmp`` sibling first and are moved into
+    place with :func:`os.replace`, so a run killed mid-save leaves
+    either the previous file or the new one — never a truncated,
+    unparseable result.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 @dataclass(frozen=True)
 class ExperimentProfile:
     """Monte-Carlo sizing for one run.
@@ -178,7 +196,7 @@ class ExperimentResult:
             payload["runtime"] = _jsonable(self.runtime)
         if self.config is not None:
             payload["config"] = _jsonable(self.config)
-        Path(path).write_text(json.dumps(payload, indent=2))
+        atomic_write_text(path, json.dumps(payload, indent=2))
 
     def column(self, name: str) -> list:
         """All values of one column, in row order."""

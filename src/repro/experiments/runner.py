@@ -33,9 +33,11 @@ from repro.control import POLICY_NAMES
 from repro.control.workload import SCENARIOS
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments import get_profile
+from repro.experiments.common import atomic_write_text
 from repro.experiments import (
     ablations,
     farm,
+    fleet,
     soft_gain,
     fig9,
     fig10,
@@ -61,6 +63,7 @@ EXPERIMENTS = {
     "ablations": ablations.run,
     "soft_gain": soft_gain.run,
     "farm": farm.run,
+    "fleet": fleet.run,
 }
 
 #: Governor policies the ``--governor`` flag may request.
@@ -197,9 +200,20 @@ def main(argv=None) -> int:
         help="traffic scenario shape for control-plane experiments "
         "(experiments that take a `workload` parameter, e.g. `farm`)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="partition the farm's cells across N coordinated worker "
+        "processes (experiments that take a `workers` parameter, e.g. "
+        "`fleet`); each worker rebuilds its stack slice from the "
+        "serialized StackConfig",
+    )
     args = parser.parse_args(argv)
     if args.cells is not None and args.cells < 1:
         parser.error("--cells must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
 
     base = _load_base_config(args, parser)
     try:
@@ -210,7 +224,7 @@ def main(argv=None) -> int:
 
     if args.dump_config:
         payload = json.dumps(effective.to_dict(), indent=2) + "\n"
-        Path(args.dump_config).write_text(payload)
+        atomic_write_text(args.dump_config, payload)
         print(f"[effective stack config written to {args.dump_config}]")
         if not args.all and not args.experiment:
             return 0
@@ -237,6 +251,8 @@ def main(argv=None) -> int:
         requested["governor"] = args.governor
     if args.workload is not None:
         requested["workload"] = args.workload
+    if args.workers is not None:
+        requested["workers"] = args.workers
     if explicit_config:
         # A --config / --preset stack is authoritative: derive the flag
         # set every experiment understands from it, and hand the full

@@ -1,0 +1,24 @@
+"""Multi-process farm: a supervised fleet of StackConfig workers.
+
+The config-first API's process story: :class:`FarmCoordinator` splits a
+streaming :class:`~repro.api.StackConfig` across worker processes
+(:meth:`~repro.api.StackConfig.split_cells`), ships each its serialized
+slice — the config is the recovery plan — and supervises the fleet:
+chunked scenario pacing with heartbeat replies, SIGKILL/hang detection
+with re-spawn-and-replay, and one global path budget water-filled over
+every worker's governor.
+"""
+
+from repro.farm.coordinator import (
+    FarmCoordinator,
+    FleetReport,
+    WorkerRestart,
+)
+from repro.farm.worker import worker_main
+
+__all__ = [
+    "FarmCoordinator",
+    "FleetReport",
+    "WorkerRestart",
+    "worker_main",
+]

@@ -1,0 +1,628 @@
+"""Multi-process farm coordinator: one StackConfig, N supervised workers.
+
+:class:`FarmCoordinator` partitions a streaming
+:class:`~repro.api.StackConfig` across worker processes with
+:meth:`~repro.api.StackConfig.split_cells`, ships each worker its
+*serialized* slice (the worker rebuilds everything with
+:func:`repro.api.build_stack` — no live objects cross the pipe), paces
+workload scenarios through the fleet in slot chunks, and governs the
+whole fleet against one global path budget with
+:func:`repro.control.policy.allocate_budget`.
+
+The chunk is the recovery quantum.  Every worker's chunk reply doubles
+as its heartbeat; a worker that dies (SIGKILL, OOM, segfault) or hangs
+past the reply timeout is killed, re-spawned **from the same config
+slice**, re-handed the workload and its last awarded budgets, and the
+lost chunk is replayed — the seeds make the replayed frames identical
+to the ones that died with the process.  Every recovery is recorded as
+a :class:`WorkerRestart` in the merged telemetry, so a run that
+survived a crash says so.  A worker that *reports* an error (a
+deterministic exception escaped its stack) is not re-spawned: replaying
+deterministic work re-raises deterministic failures.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.api import StackConfig
+from repro.control.policy import allocate_budget
+from repro.control.workload import WorkloadScenario
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.farm.protocol import (
+    MSG_BUDGETS,
+    MSG_CALIBRATE,
+    MSG_ERROR,
+    MSG_PING,
+    MSG_READY,
+    MSG_RUN,
+    MSG_STOP,
+    MSG_WORKLOAD,
+    REPLY_FOR,
+    scenario_to_payload,
+)
+from repro.farm.worker import worker_main
+from repro.runtime.scheduler import merge_scheduler_summaries
+
+#: How often a waiting coordinator re-checks the pipe and the process.
+_POLL_INTERVAL_S = 0.05
+
+
+@dataclass(frozen=True)
+class WorkerRestart:
+    """One recovery event: which worker, why, and what was replayed."""
+
+    worker: int
+    reason: str  #: ``"died"`` or ``"hung"``
+    phase: str  #: the command in flight, e.g. ``"run_slots[4:8)"``
+
+    def as_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "reason": self.reason,
+            "phase": self.phase,
+        }
+
+
+@dataclass
+class FleetReport:
+    """What one :meth:`FarmCoordinator.run` produced, fleet-wide.
+
+    ``scheduler`` is the :func:`merge_scheduler_summaries` fold over
+    every chunk of every worker — its ``summaries_merged`` counts the
+    folded chunks and ``frames_missing`` exposes any submitted-but-
+    never-detected gap.  ``restarts`` records every worker recovery, so
+    telemetry from a run that survived a crash is distinguishable from
+    a clean one.
+    """
+
+    workers: int
+    slots: int
+    slot_interval_s: float
+    frames_offered: int
+    elapsed_s: float
+    scheduler: dict
+    per_worker: "list[dict]"
+    cells: dict
+    budgets: dict
+    restarts: "list[WorkerRestart]" = field(default_factory=list)
+
+    @property
+    def frames_detected(self) -> int:
+        return self.scheduler["frames_detected"]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.scheduler["deadline_hit_rate"]
+
+    @property
+    def throughput_fps(self) -> float:
+        return (
+            self.frames_detected / self.elapsed_s if self.elapsed_s else 0.0
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "slots": self.slots,
+            "slot_interval_s": self.slot_interval_s,
+            "frames_offered": self.frames_offered,
+            "frames_detected": self.frames_detected,
+            "elapsed_s": self.elapsed_s,
+            "throughput_fps": self.throughput_fps,
+            "scheduler": dict(self.scheduler),
+            "per_worker": [dict(summary) for summary in self.per_worker],
+            "cells": self.cells,
+            "budgets": dict(self.budgets),
+            "restarts": [restart.as_dict() for restart in self.restarts],
+        }
+
+
+class _WorkerFailure(Exception):
+    """Internal: a worker died or hung mid-request (recoverable)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _Handle:
+    """One worker process and the coordinator's view of it."""
+
+    def __init__(self, index: int, payload: dict):
+        self.index = index
+        #: The serialized config slice — the whole recovery plan.
+        self.payload = payload
+        self.process = None
+        self.conn = None
+        self.cells: "list[str]" = []
+        self.restarts = 0
+        #: Fold of every *completed* chunk summary this worker returned
+        #: (survives the worker: kept coordinator-side).
+        self.summary = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class FarmCoordinator:
+    """Drive one streaming :class:`StackConfig` across worker processes.
+
+    Parameters
+    ----------
+    config:
+        The fleet-wide stack: a streaming farm, optionally governed.  A
+        governor ``total_path_budget`` is applied *globally*: slices
+        run their local control laws unconstrained and the coordinator
+        water-fills the shared pool across the whole fleet each chunk.
+    workers:
+        Process count; cells are partitioned contiguously via
+        :meth:`StackConfig.split_cells`.
+    reply_timeout_s:
+        Base patience for any reply.  Chunk replies get this *plus*
+        twice the chunk's paced duration, so pacing never reads as a
+        hang.  A worker that exceeds it is killed and re-spawned.
+    max_restarts:
+        Recoveries allowed per worker before the coordinator gives up
+        with :class:`~repro.errors.WorkerCrashError`.
+    slots_per_chunk:
+        The dispatch/heartbeat/recovery quantum, in slots.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``.
+    kill_script:
+        ``{worker_index: chunk_index}`` — SIGKILL that worker right
+        after that chunk is dispatched to it.  The scripted crash the
+        recovery tests, the CI smoke lane and the bench all share.
+    """
+
+    def __init__(
+        self,
+        config: StackConfig,
+        workers: int,
+        reply_timeout_s: float = 30.0,
+        max_restarts: int = 2,
+        slots_per_chunk: int = 4,
+        start_method: "str | None" = None,
+        kill_script: "dict[int, int] | None" = None,
+    ):
+        if not config.farm.streaming:
+            raise ConfigurationError(
+                "FarmCoordinator needs a streaming farm config"
+            )
+        if reply_timeout_s <= 0:
+            raise ConfigurationError("reply_timeout_s must be positive")
+        if max_restarts < 0:
+            raise ConfigurationError("max_restarts must be >= 0")
+        if slots_per_chunk < 1:
+            raise ConfigurationError("slots_per_chunk must be >= 1")
+        self.config = config
+        self.workers = workers
+        self.reply_timeout_s = reply_timeout_s
+        self.max_restarts = max_restarts
+        self.slots_per_chunk = slots_per_chunk
+        self.kill_script = dict(kill_script or {})
+        self.restarts: "list[WorkerRestart]" = []
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._mp = multiprocessing.get_context(start_method)
+        self._slices = config.split_cells(workers)
+        self._handles = [
+            _Handle(index, sub.to_dict())
+            for index, sub in enumerate(self._slices)
+        ]
+        self._started = False
+        self._closed = False
+        self._workload_message: "dict | None" = None
+        self._scenario: "WorkloadScenario | None" = None
+        self._last_awards: "dict[str, int]" = {}
+        governor = config.governor
+        self._total_budget = (
+            governor.total_path_budget if governor is not None else None
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def cell_ids(self) -> "tuple[str, ...]":
+        return self.config.farm.cell_ids()
+
+    def start(self) -> "FarmCoordinator":
+        """Spawn every worker and wait for its ``ready`` handshake."""
+        if self._started:
+            return self
+        self._started = True
+        try:
+            for handle in self._handles:
+                self._spawn(handle)
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def close(self) -> None:
+        """Stop the fleet: orderly ``stop`` first, SIGKILL stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            if handle.alive and handle.conn is not None:
+                try:
+                    handle.conn.send({"type": MSG_STOP})
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 2.0
+        for handle in self._handles:
+            if handle.process is not None:
+                handle.process.join(max(0.0, deadline - time.monotonic()))
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join()
+            if handle.conn is not None:
+                handle.conn.close()
+                handle.conn = None
+
+    def __enter__(self) -> "FarmCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- supervision ---------------------------------------------------
+    def _spawn(self, handle: _Handle) -> None:
+        parent_conn, child_conn = self._mp.Pipe()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_conn, handle.payload),
+            name=f"farm-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        try:
+            ready = self._await_reply(
+                handle, MSG_READY, self.reply_timeout_s
+            )
+        except _WorkerFailure as failure:
+            raise WorkerCrashError(
+                f"worker {handle.index} {failure.reason} during its "
+                "startup handshake",
+                worker=handle.index,
+            ) from None
+        handle.cells = list(ready["cells"])
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker — the crash the supervisor must survive."""
+        process = self._handles[index].process
+        if process is not None and process.is_alive():
+            os.kill(process.pid, signal.SIGKILL)
+
+    def _await_reply(
+        self, handle: _Handle, expected: str, timeout: float
+    ) -> dict:
+        """Wait for one reply; death, hang and worker errors surface."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if handle.conn.poll(_POLL_INTERVAL_S):
+                    reply = handle.conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise _WorkerFailure("died") from None
+            if not handle.alive:
+                # Drain any reply that raced the death notice.
+                if not handle.conn.poll(0):
+                    raise _WorkerFailure("died")
+            elif time.monotonic() > deadline:
+                raise _WorkerFailure("hung")
+        if reply.get("type") == MSG_ERROR:
+            raise WorkerCrashError(
+                f"worker {handle.index} reported an error (deterministic; "
+                f"not re-spawned): {reply.get('error')}\n"
+                f"{reply.get('traceback', '')}",
+                worker=handle.index,
+            )
+        if reply.get("type") != expected:
+            raise WorkerCrashError(
+                f"worker {handle.index} replied {reply.get('type')!r} "
+                f"where {expected!r} was expected",
+                worker=handle.index,
+            )
+        return reply
+
+    def _send(self, handle: _Handle, message: dict) -> None:
+        try:
+            handle.conn.send(message)
+        except (OSError, ValueError):
+            raise _WorkerFailure("died") from None
+
+    def _recover(self, handle: _Handle, failure: _WorkerFailure,
+                 phase: str) -> None:
+        """Kill, re-spawn from the stored config slice, re-arm state."""
+        handle.restarts += 1
+        if handle.restarts > self.max_restarts:
+            raise WorkerCrashError(
+                f"worker {handle.index} {failure.reason} during {phase} "
+                f"and exceeded max_restarts={self.max_restarts}",
+                worker=handle.index,
+            )
+        if handle.process is not None:
+            if handle.process.is_alive():
+                handle.process.kill()
+            handle.process.join()
+        if handle.conn is not None:
+            handle.conn.close()
+        restart = WorkerRestart(handle.index, failure.reason, phase)
+        self.restarts.append(restart)
+        self._spawn(handle)
+        # The config rebuilt the stack; re-arm the workload and the
+        # fleet's last budget awards so the replay resumes governed.
+        if self._workload_message is not None:
+            self._request(
+                handle, self._workload_message, self.reply_timeout_s,
+                phase="workload (recovery)",
+            )
+        if self._last_awards:
+            self._install_budgets(handle)
+
+    def _request(
+        self, handle: _Handle, message: dict, timeout: float, phase: str
+    ) -> dict:
+        """Send + await with supervision: recover and replay on failure."""
+        expected = REPLY_FOR[message["type"]]
+        while True:
+            try:
+                self._send(handle, message)
+                return self._await_reply(handle, expected, timeout)
+            except _WorkerFailure as failure:
+                self._recover(handle, failure, phase)
+
+    def _install_budgets(self, handle: _Handle) -> None:
+        awards = {
+            cell: self._last_awards[cell]
+            for cell in handle.cells
+            if cell in self._last_awards
+        }
+        if awards:
+            self._request(
+                handle,
+                {"type": MSG_BUDGETS, "budgets": awards},
+                self.reply_timeout_s,
+                phase="set_budgets",
+            )
+
+    def ping(self, delay_s: float = 0.0) -> "list[dict]":
+        """Health-check every worker (recovering any that fail).
+
+        ``delay_s`` is forwarded to the workers' latency-injection knob
+        — with a delay beyond ``reply_timeout_s`` this *exercises* the
+        hung-worker recovery path on a perfectly healthy fleet.
+        """
+        self._require_started()
+        probe = {"type": MSG_PING, "delay_s": delay_s}
+        # The injected delay is one-shot: a recovery replay pings clean,
+        # so a worker re-spawned for "hanging" proves itself healthy.
+        replay = {"type": MSG_PING}
+        for handle in self._handles:
+            self._send_checked(handle, probe, phase="ping")
+        return [
+            self._collect(handle, replay, self.reply_timeout_s, "ping")
+            for handle in self._handles
+        ]
+
+    # -- fan-out helpers -----------------------------------------------
+    def _require_started(self) -> None:
+        if not self._started or self._closed:
+            raise ConfigurationError(
+                "coordinator is not running (use `with FarmCoordinator"
+                "(...) as coordinator:` or call start())"
+            )
+
+    def _send_checked(
+        self, handle: _Handle, message: dict, phase: str
+    ) -> None:
+        """Dispatch one command, recovering (and re-sending) on death."""
+        while True:
+            try:
+                self._send(handle, message)
+                return
+            except _WorkerFailure as failure:
+                self._recover(handle, failure, phase)
+
+    def _collect(
+        self, handle: _Handle, message: dict, timeout: float, phase: str
+    ) -> dict:
+        """Await the reply to an already-sent ``message``; replay on
+        failure (recovery re-arms the worker, then re-requests)."""
+        try:
+            return self._await_reply(
+                handle, REPLY_FOR[message["type"]], timeout
+            )
+        except _WorkerFailure as failure:
+            self._recover(handle, failure, phase)
+            return self._request(handle, message, timeout, phase)
+
+    # -- workload ------------------------------------------------------
+    def install_workload(
+        self,
+        scenario: WorkloadScenario,
+        noise_var: float,
+        channel_seed: "int | None" = None,
+        data_seed: "int | None" = None,
+    ) -> None:
+        """Ship the scenario + seeds to every worker.
+
+        The scenario must cover the fleet's cells exactly — each worker
+        derives the full (deterministic) demand table and materialises
+        only its own columns, so the partition of work is exact and
+        invariant under the worker count.
+        """
+        self._require_started()
+        if set(scenario.cells) != set(self.cell_ids):
+            raise ConfigurationError(
+                f"scenario cells {sorted(scenario.cells)} must match the "
+                f"fleet's cells {sorted(self.cell_ids)}"
+            )
+        message = {
+            "type": MSG_WORKLOAD,
+            "scenario": scenario_to_payload(scenario),
+            "noise_var": float(noise_var),
+            "channel_seed": (
+                scenario.seed if channel_seed is None else channel_seed
+            ),
+            "data_seed": (
+                scenario.seed + 1 if data_seed is None else data_seed
+            ),
+        }
+        for handle in self._handles:
+            self._send_checked(handle, message, phase="workload")
+        for handle in self._handles:
+            self._collect(
+                handle, message, self.reply_timeout_s, "workload"
+            )
+        self._workload_message = message
+        self._scenario = scenario
+
+    def calibrate(self) -> float:
+        """Fleet slot cost: the *slowest* worker's warm full-load slot."""
+        self._require_started()
+        if self._workload_message is None:
+            raise ConfigurationError(
+                "install_workload must run before calibrate"
+            )
+        message = {"type": MSG_CALIBRATE}
+        for handle in self._handles:
+            self._send_checked(handle, message, phase="calibrate")
+        replies = [
+            self._collect(
+                handle, message, self.reply_timeout_s, "calibrate"
+            )
+            for handle in self._handles
+        ]
+        return max(reply["slot_cost_s"] for reply in replies)
+
+    # -- the run loop --------------------------------------------------
+    def run(
+        self,
+        scenario: "WorkloadScenario | None" = None,
+        noise_var: "float | None" = None,
+        slot_interval_s: "float | None" = None,
+        overload: float = 1.0,
+    ) -> FleetReport:
+        """Pace one scenario through the fleet, chunk by chunk.
+
+        ``slot_interval_s=None`` calibrates first and paces at
+        ``overload x`` the slowest worker's slot cost (the shared
+        protocol of every governed-farm driver); ``0`` runs unpaced
+        (throughput mode).  Pass ``scenario``/``noise_var`` to install
+        a workload in the same call, or pre-install with
+        :meth:`install_workload`.
+
+        Each chunk: dispatch ``run_slots`` to every worker, apply any
+        scripted kills, collect every reply (recovering + replaying as
+        needed), fold the summaries, then re-water-fill the global path
+        budget from the workers' reported desires.
+        """
+        self._require_started()
+        if scenario is not None:
+            if noise_var is None:
+                raise ConfigurationError(
+                    "run(scenario=...) also needs noise_var"
+                )
+            self.install_workload(scenario, noise_var)
+        if self._workload_message is None:
+            raise ConfigurationError(
+                "no workload installed; pass scenario/noise_var or call "
+                "install_workload first"
+            )
+        scenario = self._scenario
+        if slot_interval_s is None:
+            slot_interval_s = overload * self.calibrate()
+        if not math.isfinite(slot_interval_s) or slot_interval_s < 0:
+            raise ConfigurationError(
+                "slot_interval_s must be finite and >= 0"
+            )
+        kill_script = dict(self.kill_script)
+        chunks = [
+            (start, min(start + self.slots_per_chunk, scenario.slots))
+            for start in range(0, scenario.slots, self.slots_per_chunk)
+        ]
+        cells: dict = {}
+        started_at = time.monotonic()
+        for chunk_index, (start, stop) in enumerate(chunks):
+            message = {
+                "type": MSG_RUN,
+                "start": start,
+                "stop": stop,
+                "slot_interval_s": slot_interval_s,
+            }
+            phase = f"run_slots[{start}:{stop})"
+            timeout = (
+                self.reply_timeout_s
+                + 2.0 * (stop - start) * slot_interval_s
+            )
+            for handle in self._handles:
+                self._send_checked(handle, message, phase)
+                if kill_script.get(handle.index) == chunk_index:
+                    del kill_script[handle.index]
+                    self.kill_worker(handle.index)
+            replies = [
+                self._collect(handle, message, timeout, phase)
+                for handle in self._handles
+            ]
+            desires: "dict[str, int]" = {}
+            floors: "dict[str, int]" = {}
+            for handle, reply in zip(self._handles, replies):
+                handle.summary = merge_scheduler_summaries(
+                    handle.summary, reply["summary"]
+                )
+                cells.update(reply.get("cells", {}))
+                desires.update(reply.get("desired_budgets", {}))
+                floors.update(reply.get("floors", {}))
+            if self._total_budget is not None and desires:
+                self._tick_global_budget(desires, floors)
+        elapsed = time.monotonic() - started_at
+        fleet_summary = None
+        for handle in self._handles:
+            fleet_summary = merge_scheduler_summaries(
+                fleet_summary, handle.summary
+            )
+        report = FleetReport(
+            workers=len(self._handles),
+            slots=scenario.slots,
+            slot_interval_s=slot_interval_s,
+            frames_offered=scenario.offered_frames(),
+            elapsed_s=elapsed,
+            scheduler=fleet_summary or {},
+            per_worker=[
+                dict(handle.summary or {}) for handle in self._handles
+            ],
+            cells=cells,
+            budgets=dict(self._last_awards),
+            restarts=list(self.restarts),
+        )
+        for handle in self._handles:
+            handle.summary = None
+        return report
+
+    def _tick_global_budget(
+        self, desires: "dict[str, int]", floors: "dict[str, int]"
+    ) -> None:
+        """Water-fill the shared path pool across the whole fleet."""
+        awards = allocate_budget(
+            desires,
+            self._total_budget,
+            floors={
+                cell: floors.get(cell, 0) for cell in desires
+            },
+        )
+        self._last_awards = awards
+        for handle in self._handles:
+            self._install_budgets(handle)

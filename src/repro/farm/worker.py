@@ -1,0 +1,286 @@
+"""One farm worker process: a StackConfig slice served over a pipe.
+
+The entry point :func:`worker_main` is what
+:class:`~repro.farm.coordinator.FarmCoordinator` spawns (and re-spawns —
+the serialized config slice is the whole recovery plan): it rebuilds its
+share of the farm with :func:`repro.api.build_stack`, regenerates its
+cells' channels deterministically from the workload seeds, and then
+serves :mod:`repro.farm.protocol` commands until told to stop.  All
+state a worker holds — caches, governor lanes, cumulative telemetry — is
+reconstructible from the config plus the seeds, which is why a killed
+worker can be replaced mid-scenario without corrupting the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+import traceback
+from dataclasses import replace
+
+import numpy as np
+
+from repro.api import StackConfig, build_stack
+from repro.channel.fading import rayleigh_channels
+from repro.control.workload import calibrate_slot_cost, slot_arrivals
+from repro.errors import ConfigurationError, LoadShedError
+from repro.farm.protocol import (
+    MSG_BUDGETS,
+    MSG_BUDGETS_SET,
+    MSG_CALIBRATE,
+    MSG_CALIBRATED,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_PING,
+    MSG_PONG,
+    MSG_READY,
+    MSG_RUN,
+    MSG_STOP,
+    MSG_STOPPED,
+    MSG_WORKLOAD,
+    MSG_WORKLOAD_SET,
+    scenario_from_payload,
+)
+from repro.ofdm.lte import SYMBOLS_PER_SLOT
+from repro.runtime.scheduler import merge_scheduler_summaries
+
+
+class _WorkerState:
+    """Everything one worker serves: the stack plus the workload."""
+
+    def __init__(self, config: StackConfig):
+        self.config = config
+        self.stack = build_stack(config)
+        self.cell_ids = list(config.farm.cell_ids())
+        self.cell_offset = config.farm.cell_offset
+        self.system = self.stack.detector.system
+        self.scenario = None
+        self.demand = None
+        self.noise_var = None
+        self.channel_seed = None
+        self.data_seed = None
+        self.channels = None
+        #: Cumulative scheduler summary over every chunk served.
+        self.summary = None
+
+    # ------------------------------------------------------------------
+    def set_workload(self, message: dict) -> dict:
+        scenario = scenario_from_payload(message["scenario"])
+        missing = sorted(set(self.cell_ids) - set(scenario.cells))
+        if missing:
+            raise ConfigurationError(
+                f"scenario does not cover this worker's cells {missing}"
+            )
+        self.scenario = scenario
+        # The full table is deterministic in the scenario seed, so every
+        # worker derives the same one and materialises only its slice.
+        self.demand = scenario.demand()
+        self.noise_var = float(message["noise_var"])
+        self.channel_seed = int(message["channel_seed"])
+        self.data_seed = int(message["data_seed"])
+        self.channels = {
+            cell_id: rayleigh_channels(
+                scenario.subcarriers,
+                self.system.num_rx_antennas,
+                self.system.num_streams,
+                # Seeded per *global* cell index: a re-spawned worker
+                # regenerates identical channels, and no two cells of
+                # the fleet share a draw.
+                np.random.default_rng(
+                    [self.channel_seed, self.cell_offset + index]
+                ),
+            )
+            for index, cell_id in enumerate(self.cell_ids)
+        }
+        return {"type": MSG_WORKLOAD_SET, "cells": self.cell_ids}
+
+    def _require_workload(self) -> None:
+        if self.scenario is None:
+            raise ConfigurationError(
+                "no workload installed (send a 'workload' message first)"
+            )
+
+    # ------------------------------------------------------------------
+    def calibrate(self) -> dict:
+        """Warm wall-clock cost of this worker's share of a full slot."""
+        self._require_workload()
+        spec = self.config.scheduler
+        cost = calibrate_slot_cost(
+            self.stack.engine.farm,
+            replace(self.scenario, cells=tuple(self.cell_ids)),
+            self.channels,
+            self.system,
+            self.noise_var,
+            batch_target=spec.batch_target,
+            flush_margin_s=spec.flush_margin_s,
+        )
+        return {"type": MSG_CALIBRATED, "slot_cost_s": cost}
+
+    def run_slots(self, message: dict) -> dict:
+        self._require_workload()
+        start, stop = int(message["start"]), int(message["stop"])
+        if not 0 <= start <= stop <= self.scenario.slots:
+            raise ConfigurationError(
+                f"slot range [{start}, {stop}) outside the scenario's "
+                f"{self.scenario.slots} slots"
+            )
+        interval = float(message["slot_interval_s"])
+        summary, detected, shed = asyncio.run(
+            self._paced_chunk(start, stop, interval)
+        )
+        self.summary = merge_scheduler_summaries(self.summary, summary)
+        reply = {
+            "type": MSG_DONE,
+            "start": start,
+            "stop": stop,
+            "summary": summary,
+            "frames_detected": detected,
+            "frames_shed": shed,
+            "cells": {
+                cell_id: stats.as_dict()
+                for cell_id, stats in self.stack.engine.cell_stats.items()
+            },
+        }
+        governor = self.stack.governor
+        if governor is not None:
+            reply["desired_budgets"] = governor.desired_budgets(
+                self.cell_ids
+            )
+            reply["floors"] = governor.floor_budgets(self.cell_ids)
+        return reply
+
+    async def _paced_chunk(
+        self, start: int, stop: int, slot_interval_s: float
+    ):
+        """Pace slots ``[start, stop)`` of the demand table; own cells only.
+
+        Mirrors :func:`repro.control.workload.pace_scenario`, restricted
+        to a slot range: ``slot_interval_s == 0`` runs the slots
+        back-to-back (throughput mode, deadline telemetry quiet), a
+        positive interval is the real-time contract (slot budget
+        defaults to the interval unless the scheduler spec pins one).
+        """
+        engine = self.stack.engine
+        spec = self.config.scheduler
+        slot_budget = spec.slot_budget_s
+        if slot_budget is None:
+            slot_budget = slot_interval_s if slot_interval_s > 0 else math.inf
+        batch_target = (
+            spec.batch_target
+            if spec.batch_target is not None
+            else SYMBOLS_PER_SLOT
+        )
+        async with engine.farm.scheduler(
+            batch_target=batch_target,
+            slot_budget_s=slot_budget,
+            flush_margin_s=spec.flush_margin_s,
+            governor=engine.governor,
+        ) as scheduler:
+            futures = []
+            t0 = time.monotonic()
+            for slot in range(start, stop):
+                delay = (
+                    t0 + (slot - start) * slot_interval_s - time.monotonic()
+                )
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                row = {
+                    cell_id: self.demand[slot][cell_id]
+                    for cell_id in self.cell_ids
+                }
+                # Seeded per (slot, worker slice): a replayed chunk
+                # regenerates the identical frames it lost.
+                rng = np.random.default_rng(
+                    [self.data_seed, slot, self.cell_offset]
+                )
+                for arrival in slot_arrivals(
+                    row, self.channels, self.system, self.noise_var, rng
+                ):
+                    futures.append(
+                        (arrival.num_frames, await scheduler.submit(arrival))
+                    )
+            await scheduler.flush()
+            results = await asyncio.gather(
+                *(future for _, future in futures), return_exceptions=True
+            )
+            detected = shed = 0
+            for (frames, _), result in zip(futures, results):
+                if isinstance(result, LoadShedError):
+                    shed += frames
+                elif isinstance(result, BaseException):
+                    raise result
+                else:
+                    detected += frames
+            return scheduler.telemetry.as_dict(), detected, shed
+
+    # ------------------------------------------------------------------
+    def set_budgets(self, message: dict) -> dict:
+        governor = self.stack.governor
+        if governor is not None:
+            governor.install_budgets(message["budgets"])
+        return {
+            "type": MSG_BUDGETS_SET,
+            "budgets": (
+                governor.budgets() if governor is not None else {}
+            ),
+        }
+
+    def stop(self) -> dict:
+        return {"type": MSG_STOPPED, "summary": self.summary}
+
+    def close(self) -> None:
+        self.stack.close()
+
+
+def worker_main(conn, config_payload: dict) -> None:
+    """Serve one farm slice over ``conn`` until ``stop`` (or EOF).
+
+    ``config_payload`` is a serialized :class:`~repro.api.StackConfig`
+    (``to_dict`` form) — the coordinator ships configuration, never live
+    objects, so this entry point works identically for a first spawn
+    and for a recovery re-spawn.
+    """
+    state = None
+    try:
+        state = _WorkerState(StackConfig.from_dict(config_payload))
+        conn.send({"type": MSG_READY, "cells": state.cell_ids})
+        while True:
+            message = conn.recv()
+            kind = message.get("type")
+            if kind == MSG_STOP:
+                conn.send(state.stop())
+                return
+            if kind == MSG_PING:
+                # ``delay_s`` is a latency-injection knob for exercising
+                # the coordinator's hung-worker detection.
+                delay = float(message.get("delay_s", 0.0))
+                if delay > 0:
+                    time.sleep(delay)
+                conn.send({"type": MSG_PONG, "cells": state.cell_ids})
+            elif kind == MSG_WORKLOAD:
+                conn.send(state.set_workload(message))
+            elif kind == MSG_CALIBRATE:
+                conn.send(state.calibrate())
+            elif kind == MSG_RUN:
+                conn.send(state.run_slots(message))
+            elif kind == MSG_BUDGETS:
+                conn.send(state.set_budgets(message))
+            else:
+                raise ConfigurationError(f"unknown command {kind!r}")
+    except EOFError:
+        pass  # the coordinator went away; nothing to report to
+    except Exception as error:
+        try:
+            conn.send(
+                {
+                    "type": MSG_ERROR,
+                    "error": repr(error),
+                    "traceback": traceback.format_exc(),
+                }
+            )
+        except OSError:
+            pass
+    finally:
+        if state is not None:
+            state.close()

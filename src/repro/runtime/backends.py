@@ -20,9 +20,10 @@ from __future__ import annotations
 import abc
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.utils.xp import ArrayModule, default_array_module, resolve_array_module
 
 
@@ -85,6 +86,7 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ConfigurationError("max_workers must be positive")
         self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
         self._executor: ProcessPoolExecutor | None = None
+        self._broken_index: "int | None" = None
 
     @property
     def num_shards_hint(self) -> int:
@@ -95,12 +97,45 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
         return self._executor
 
+    def _map(self, worker: Callable, payloads: list) -> list:
+        # submit (not Executor.map) so a broken pool identifies which
+        # payload's result was lost.
+        pool = self._pool()
+        futures = [pool.submit(worker, payload) for payload in payloads]
+        results = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                self._broken_index = index
+                raise
+        return results
+
     def run(self, worker: Callable, payloads: Sequence) -> list:
         payloads = list(payloads)
         if len(payloads) <= 1:
             # One shard: the pool round-trip buys nothing.
             return [worker(payload) for payload in payloads]
-        return list(self._pool().map(worker, payloads))
+        try:
+            return self._map(worker, payloads)
+        except BrokenProcessPool:
+            # A worker killed mid-task (OOM-killer, SIGKILL, segfault)
+            # poisons the whole executor: every later submit would raise
+            # too.  Tear it down and retry the batch once on a fresh
+            # pool; if that breaks as well the work itself is lethal.
+            self.close()
+            try:
+                return self._map(worker, payloads)
+            except BrokenProcessPool as error:
+                index = self._broken_index
+                self.close()
+                raise WorkerCrashError(
+                    f"process-pool worker died twice running this batch "
+                    f"(first lost result: payload {index} of "
+                    f"{len(payloads)}); the pool was rebuilt once and "
+                    "broke again, so the payload itself is suspect",
+                    payload_index=index,
+                ) from error
 
     def close(self) -> None:
         if self._executor is not None:

@@ -260,14 +260,17 @@ class StreamingUplinkEngine:
         max_cache_entries: int = 1024,
         governor=None,
         cell_prefix: str = "cell",
+        cell_offset: int = 0,
     ):
         if cells < 1:
             raise ConfigurationError("cells must be >= 1")
+        if cell_offset < 0:
+            raise ConfigurationError("cell_offset must be >= 0")
         self.detector = detector
         self.farm = CellFarm(backend)
         for index in range(cells):
             self.farm.add_cell(
-                f"{cell_prefix}{index}",
+                f"{cell_prefix}{cell_offset + index}",
                 detector,
                 max_cache_entries=max_cache_entries,
             )

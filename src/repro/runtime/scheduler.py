@@ -195,6 +195,18 @@ class SchedulerTelemetry:
         """Mean flush latency (oldest arrival to completion)."""
         return self.latency_sum_s / self.flushes if self.flushes else 0.0
 
+    @property
+    def frames_missing(self) -> int:
+        """Submitted frames neither detected nor explicitly shed.
+
+        Non-zero means work vanished — a crashed worker, an abandoned
+        future — and the summary's ``deadline_hit_rate`` (a ratio over
+        *detected* frames only) is flattering a lane that lost frames.
+        """
+        return (
+            self.frames_submitted - self.frames_detected - self.frames_shed
+        )
+
     def as_dict(self) -> dict:
         return {
             "frames_submitted": self.frames_submitted,
@@ -202,6 +214,7 @@ class SchedulerTelemetry:
             "frames_on_time": self.frames_on_time,
             "frames_late": self.frames_late,
             "frames_shed": self.frames_shed,
+            "frames_missing": self.frames_missing,
             "flushes": self.flushes,
             "groups_flushed": self.groups_flushed,
             "flush_reasons": dict(self.flush_reasons),
@@ -210,6 +223,7 @@ class SchedulerTelemetry:
             "max_latency_s": self.max_latency_s,
             "latency_sum_s": self.latency_sum_s,
             "records_dropped": self.records_dropped,
+            "summaries_merged": 1,
         }
 
 
@@ -222,6 +236,16 @@ def merge_scheduler_summaries(
     scheduler instances; this merges their summaries into one — counters
     add, latency maxima max, and the derived rates are recomputed from
     the merged counters.  Pass ``accumulated=None`` to start.
+
+    A merged dict is itself mergeable (the fold is associative —
+    property-tested), and it keeps dead lanes visible: an empty or
+    crashed worker's summary still reads ``deadline_hit_rate == 1.0``
+    on its own (a ratio over zero detected frames), so the merge also
+    carries ``summaries_merged`` — how many leaf summaries went into
+    the total, so a fleet roll-up missing a worker is countable — and
+    ``frames_missing`` — submitted minus detected minus shed, the
+    frames that vanished rather than being served or explicitly
+    refused.
     """
     counters = (
         "frames_submitted",
@@ -238,6 +262,7 @@ def merge_scheduler_summaries(
         merged = {key: summary.get(key, 0) for key in counters}
         merged["flush_reasons"] = dict(summary.get("flush_reasons", {}))
         merged["max_latency_s"] = summary.get("max_latency_s", 0.0)
+        merged["summaries_merged"] = summary.get("summaries_merged", 1)
     else:
         merged = dict(accumulated)
         for key in counters:
@@ -250,6 +275,9 @@ def merge_scheduler_summaries(
             merged.get("max_latency_s", 0.0),
             summary.get("max_latency_s", 0.0),
         )
+        merged["summaries_merged"] = merged.get(
+            "summaries_merged", 1
+        ) + summary.get("summaries_merged", 1)
     on_time = merged["frames_on_time"]
     late = merged["frames_late"]
     merged["deadline_hit_rate"] = (
@@ -259,6 +287,11 @@ def merge_scheduler_summaries(
         merged["latency_sum_s"] / merged["flushes"]
         if merged["flushes"]
         else 0.0
+    )
+    merged["frames_missing"] = (
+        merged["frames_submitted"]
+        - merged["frames_detected"]
+        - merged["frames_shed"]
     )
     return merged
 

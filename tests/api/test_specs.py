@@ -307,3 +307,70 @@ class TestSpecHelpers:
         assert stripped.detector is None
         assert stripped.backend == config.backend
         assert config.detector is not None  # original untouched
+
+
+class TestSplitCells:
+    def streaming_config(self, cells, total_budget=None):
+        return StackConfig(
+            detector=DetectorSpec("flexcore", 2, 2, 4),
+            farm=FarmSpec(streaming=True, cells=cells),
+            governor=GovernorSpec(
+                policy="aimd",
+                paths_min=1,
+                paths_max=8,
+                total_path_budget=total_budget,
+            ),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cells=st.integers(min_value=1, max_value=24),
+        workers=st.integers(min_value=1, max_value=24),
+    )
+    def test_partition_is_exact_and_disjoint(self, cells, workers):
+        config = self.streaming_config(cells)
+        if workers > cells:
+            with pytest.raises(ConfigurationError):
+                config.split_cells(workers)
+            return
+        slices = config.split_cells(workers)
+        assert len(slices) == workers
+        sliced_ids = [
+            cell for sub in slices for cell in sub.farm.cell_ids()
+        ]
+        # Disjoint union preserving order: the fleet's cells, exactly.
+        assert sliced_ids == list(config.farm.cell_ids())
+        # Near-even split: sizes differ by at most one.
+        sizes = [sub.farm.cells for sub in slices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_offsets_carry_global_cell_names(self):
+        config = self.streaming_config(5)
+        first, second = config.split_cells(2)
+        assert first.farm.cell_ids() == ("cell0", "cell1", "cell2")
+        assert second.farm.cell_ids() == ("cell3", "cell4")
+        assert second.farm.cell_offset == 3
+
+    def test_slices_round_trip_through_json(self):
+        config = self.streaming_config(4)
+        for sub in config.split_cells(3):
+            payload = json.loads(json.dumps(sub.to_dict()))
+            assert StackConfig.from_dict(payload) == sub
+
+    def test_global_budget_stays_with_the_coordinator(self):
+        config = self.streaming_config(4, total_budget=16)
+        for sub in config.split_cells(2):
+            # Each worker applying the *whole* pool to its subset would
+            # multiply the fleet's budget by the worker count.
+            assert sub.governor.total_path_budget is None
+        # The parent keeps it (split_cells never mutates its input).
+        assert config.governor.total_path_budget == 16
+
+    def test_validation(self):
+        config = self.streaming_config(2)
+        with pytest.raises(ConfigurationError):
+            config.split_cells(0)
+        with pytest.raises(ConfigurationError, match="streaming"):
+            StackConfig(
+                detector=DetectorSpec("flexcore", 2, 2, 4)
+            ).split_cells(1)

@@ -305,3 +305,15 @@ class TestAllocateBudget:
         with pytest.raises(ConfigurationError):
             allocate_budget({"a": 1}, 10, {"a": 2})
         assert allocate_budget({}, 10) == {}
+
+    def test_floors_for_unknown_cells_rejected(self):
+        # A floors dict naming cells outside `desired` used to be
+        # silently ignored — a typo'd cell id would quietly lose its
+        # guarantee.  It must be a configuration error.
+        with pytest.raises(ConfigurationError, match="cellX"):
+            allocate_budget(
+                {"a": 8, "b": 8}, 10, floors={"a": 2, "cellX": 2}
+            )
+        # Matching keys (any subset of desired) stay valid.
+        awarded = allocate_budget({"a": 8, "b": 8}, 10, floors={"a": 2})
+        assert sum(awarded.values()) == 10

@@ -9,6 +9,7 @@ from repro.experiments.common import (
     PROFILES,
     ExperimentProfile,
     ExperimentResult,
+    atomic_write_text,
     get_profile,
 )
 
@@ -94,3 +95,49 @@ class TestExperimentResult:
         path = tmp_path / "demo.json"
         self._result().save_json(path)
         assert "runtime" not in json.loads(path.read_text())
+
+
+class TestAtomicWrite:
+    def test_writes_and_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, '{"ok": true}')
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("old content that is much longer than the new")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_interrupted_save_never_truncates(self, tmp_path, monkeypatch):
+        # A run killed mid-save must leave either the previous file or
+        # the new one — never a half-written result.  Simulate the kill
+        # at the worst moment: after the tmp bytes, before the rename.
+        import os as os_module
+
+        path = tmp_path / "result.json"
+        path.write_text('{"previous": "intact"}')
+
+        def killed(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os_module, "replace", killed)
+        with pytest.raises(KeyboardInterrupt):
+            atomic_write_text(path, '{"next": "half"}')
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == {"previous": "intact"}
+        assert list(tmp_path.iterdir()) == [path]  # tmp cleaned up
+
+    def test_save_json_is_atomic(self, tmp_path):
+        result = ExperimentResult(
+            experiment="demo",
+            title="Demo",
+            profile="quick",
+            columns=["x"],
+        )
+        result.add_row(x=1)
+        path = tmp_path / "demo.json"
+        result.save_json(path)
+        assert json.loads(path.read_text())["rows"] == [{"x": 1}]
+        assert not (tmp_path / "demo.json.tmp").exists()

@@ -23,6 +23,7 @@ class TestRegistry:
             "ablations",
             "soft_gain",
             "farm",
+            "fleet",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,240 @@
+"""Tests for the multi-process farm coordinator.
+
+The supervision contract under test:
+
+* the fleet partitions one ``StackConfig`` exactly (disjoint cells,
+  exact frame accounting, invariant under worker count);
+* a worker SIGKILLed mid-scenario is re-spawned *from its serialized
+  config slice*, the lost chunk is replayed from the same seeds, and
+  the restart lands in the merged telemetry;
+* a hung worker (reply past the timeout) takes the same recovery path;
+* a worker that *reports* an exception is a deterministic failure —
+  typed error out, no futile re-spawn loop;
+* global path-budget awards never exceed the configured pool.
+
+Everything runs the tiny 2x2 4-QAM stack so the whole file stays
+tier-1 fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+)
+from repro.control.workload import WorkloadScenario
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.farm import FarmCoordinator
+from repro.farm.protocol import MSG_RUN
+from repro.mimo.model import noise_variance_for_snr_db
+
+NOISE_VAR = noise_variance_for_snr_db(20.0)
+
+
+def make_config(cells=4, governed=False, total_budget=None):
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 2, 2, 4, params={"num_paths": 4}
+        ),
+        backend=BackendSpec("serial"),
+        farm=FarmSpec(streaming=True, cells=cells),
+        scheduler=SchedulerSpec(),
+        governor=GovernorSpec(
+            policy="aimd",
+            paths_min=1,
+            paths_max=4,
+            total_path_budget=total_budget,
+        )
+        if governed
+        else None,
+    )
+
+
+def make_scenario(config, slots=6, seed=11):
+    return WorkloadScenario(
+        scenario="steady",
+        cells=config.farm.cell_ids(),
+        slots=slots,
+        subcarriers=3,
+        seed=seed,
+    )
+
+
+def test_requires_streaming_config():
+    batch_config = StackConfig(
+        detector=DetectorSpec("flexcore", 2, 2, 4)
+    )
+    with pytest.raises(ConfigurationError, match="streaming"):
+        FarmCoordinator(batch_config, 1)
+
+
+def test_fleet_accounts_for_every_frame():
+    config = make_config()
+    scenario = make_scenario(config)
+    with FarmCoordinator(config, 2, slots_per_chunk=2) as coordinator:
+        report = coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    assert report.workers == 2
+    assert report.frames_offered == scenario.offered_frames()
+    summary = report.scheduler
+    assert (
+        report.frames_detected + summary["frames_shed"]
+        == report.frames_offered
+    )
+    assert summary["frames_missing"] == 0
+    # 3 chunks x 2 workers folded into the fleet view.
+    assert summary["summaries_merged"] == 6
+    assert not report.restarts
+    # Every fleet cell reports stats exactly once.
+    assert sorted(report.cells) == sorted(config.farm.cell_ids())
+
+
+def test_partition_is_invariant_under_worker_count():
+    config = make_config()
+    scenario = make_scenario(config)
+    reports = []
+    for workers in (1, 2, 4):
+        with FarmCoordinator(config, workers) as coordinator:
+            reports.append(
+                coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+            )
+    offered = {r.scheduler["frames_submitted"] for r in reports}
+    detected = {r.frames_detected for r in reports}
+    assert len(offered) == 1, "worker count changed the offered load"
+    assert len(detected) == 1, "worker count changed the served load"
+
+
+def test_killed_worker_respawns_and_replays():
+    config = make_config()
+    scenario = make_scenario(config, slots=8)
+    with FarmCoordinator(
+        config, 2, slots_per_chunk=2, kill_script={0: 1}
+    ) as coordinator:
+        report = coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    assert len(report.restarts) == 1
+    restart = report.restarts[0]
+    assert restart.worker == 0
+    assert restart.reason == "died"
+    assert "run_slots" in restart.phase
+    # The replayed chunk regenerated the killed worker's frames: the
+    # fleet still accounts for every offered frame.
+    assert report.scheduler["frames_missing"] == 0
+    assert (
+        report.frames_detected + report.scheduler["frames_shed"]
+        == report.frames_offered
+    )
+    # The restart is visible in the serialized telemetry too.
+    assert report.as_dict()["restarts"] == [restart.as_dict()]
+
+
+def test_kill_matches_clean_run_frame_for_frame():
+    config = make_config()
+    scenario = make_scenario(config, slots=8)
+    with FarmCoordinator(config, 2, slots_per_chunk=2) as coordinator:
+        clean = coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    with FarmCoordinator(
+        config, 2, slots_per_chunk=2, kill_script={1: 2}
+    ) as coordinator:
+        killed = coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    assert killed.frames_detected == clean.frames_detected
+    assert (
+        killed.scheduler["frames_submitted"]
+        == clean.scheduler["frames_submitted"]
+    )
+
+
+def test_hung_worker_is_recovered():
+    config = make_config(cells=2)
+    with FarmCoordinator(
+        config, 2, reply_timeout_s=0.5
+    ) as coordinator:
+        replies = coordinator.ping(delay_s=2.0)
+        assert [r["type"] for r in replies] == ["pong", "pong"]
+        assert {r.reason for r in coordinator.restarts} == {"hung"}
+        # The re-spawned workers are healthy: a clean ping, no new
+        # restarts.
+        restarts_after_recovery = len(coordinator.restarts)
+        coordinator.ping()
+        assert len(coordinator.restarts) == restarts_after_recovery
+
+
+def test_max_restarts_exhaustion_is_typed():
+    config = make_config(cells=2)
+    scenario = make_scenario(config)
+    with FarmCoordinator(
+        config, 2, max_restarts=0, kill_script={0: 0}
+    ) as coordinator:
+        with pytest.raises(WorkerCrashError) as excinfo:
+            coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    assert excinfo.value.worker == 0
+
+
+def test_worker_error_is_deterministic_not_respawned():
+    config = make_config(cells=2)
+    with FarmCoordinator(config, 2) as coordinator:
+        handle = coordinator._handles[0]
+        # run_slots without an installed workload is a deterministic
+        # worker-side ConfigurationError: it must surface typed, with
+        # no futile recovery attempt.
+        with pytest.raises(WorkerCrashError, match="workload"):
+            coordinator._request(
+                handle,
+                {
+                    "type": MSG_RUN,
+                    "start": 0,
+                    "stop": 1,
+                    "slot_interval_s": 0.0,
+                },
+                timeout=coordinator.reply_timeout_s,
+                phase="run_slots[0:1)",
+            )
+        assert not coordinator.restarts
+
+
+def test_global_budget_awards_respect_the_pool():
+    config = make_config(governed=True, total_budget=8)
+    scenario = make_scenario(config, slots=6)
+    with FarmCoordinator(config, 2, slots_per_chunk=2) as coordinator:
+        report = coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    assert report.budgets, "governed fleet produced no awards"
+    assert sorted(report.budgets) == sorted(config.farm.cell_ids())
+    assert sum(report.budgets.values()) <= 8
+    assert all(award >= 1 for award in report.budgets.values())
+
+
+def test_budgets_survive_recovery():
+    config = make_config(governed=True, total_budget=8)
+    scenario = make_scenario(config, slots=8)
+    with FarmCoordinator(
+        config, 2, slots_per_chunk=2, kill_script={0: 1}
+    ) as coordinator:
+        report = coordinator.run(scenario, NOISE_VAR, slot_interval_s=0.0)
+    assert report.restarts
+    assert sorted(report.budgets) == sorted(config.farm.cell_ids())
+    assert sum(report.budgets.values()) <= 8
+
+
+def test_run_requires_workload():
+    config = make_config(cells=2)
+    with FarmCoordinator(config, 1) as coordinator:
+        with pytest.raises(ConfigurationError, match="workload"):
+            coordinator.run(slot_interval_s=0.0)
+
+
+def test_scenario_must_cover_fleet_cells():
+    config = make_config(cells=2)
+    foreign = WorkloadScenario(
+        scenario="steady",
+        cells=("elsewhere0", "elsewhere1"),
+        slots=2,
+        subcarriers=2,
+        seed=3,
+    )
+    with FarmCoordinator(config, 1) as coordinator:
+        with pytest.raises(ConfigurationError, match="cells"):
+            coordinator.install_workload(foreign, NOISE_VAR)

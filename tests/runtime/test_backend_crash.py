@@ -1,0 +1,84 @@
+"""ProcessPoolBackend crash handling: rebuild once, then fail typed.
+
+A pool worker killed mid-task (OOM-killer, SIGKILL, segfault) poisons
+the whole ``ProcessPoolExecutor`` — every later submit raises
+``BrokenProcessPool`` even though the *code* is fine.  The backend must
+tear the pool down and retry the batch once on a fresh one; if the
+fresh pool breaks too the work itself is lethal, and the caller gets a
+typed :class:`~repro.errors.WorkerCrashError` naming the payload whose
+result was lost — never a half-poisoned backend.
+
+The crash workers live at module level (pool workers must pickle) and
+kill *themselves* with SIGKILL, so no test ever races a PID.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.runtime.backends import ProcessPoolBackend
+
+
+def _double(value):
+    return value * 2
+
+
+def _kill_self(value):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _kill_until_sentinel(payload):
+    """Die unless the sentinel file exists; create it on the way down.
+
+    First batch: some worker creates the sentinel and SIGKILLs itself
+    (breaking the pool).  The retry on the rebuilt pool sees the
+    sentinel and succeeds — the recoverable-crash shape.
+    """
+    sentinel, value = payload
+    if not os.path.exists(sentinel):
+        Path(sentinel).touch()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+@pytest.fixture
+def backend():
+    backend = ProcessPoolBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+def test_single_crash_rebuilds_pool_and_completes(backend, tmp_path):
+    sentinel = str(tmp_path / "crashed-once")
+    payloads = [(sentinel, value) for value in range(4)]
+    assert backend.run(_kill_until_sentinel, payloads) == [0, 2, 4, 6]
+    # The rebuilt pool is healthy and keeps serving.
+    assert backend.run(_double, [5, 6]) == [10, 12]
+
+
+def test_repeated_crash_raises_typed_error_with_payload(backend):
+    with pytest.raises(WorkerCrashError) as excinfo:
+        backend.run(_kill_self, [1, 2, 3])
+    error = excinfo.value
+    assert error.payload_index is not None
+    assert 0 <= error.payload_index < 3
+    assert "twice" in str(error)
+
+
+def test_backend_usable_after_typed_failure(backend):
+    with pytest.raises(WorkerCrashError):
+        backend.run(_kill_self, [1, 2])
+    # The poisoned pool was torn down with the error; a later run gets
+    # a fresh one rather than an executor that raises forever.
+    assert backend.run(_double, [3, 4]) == [6, 8]
+
+
+def test_single_payload_stays_in_process(backend):
+    assert backend.run(_double, [21]) == [42]
+    # No pool was ever spun up for the one-shard shortcut.
+    assert backend._executor is None

@@ -1,0 +1,124 @@
+"""Properties of the scheduler-summary fold (`merge_scheduler_summaries`).
+
+The fold is the fleet's telemetry backbone: workers fold their own
+chunk summaries, the coordinator folds per-worker totals, and both must
+land on the same numbers regardless of grouping — i.e. the fold is
+associative.  It must also keep failure visible: an empty (dead-lane)
+summary reads ``deadline_hit_rate == 1.0`` on its own, so the merge
+carries ``summaries_merged`` (how many leaves went in) and
+``frames_missing`` (submitted but neither detected nor shed).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.scheduler import merge_scheduler_summaries
+
+_COUNTERS = (
+    "frames_submitted",
+    "frames_detected",
+    "frames_on_time",
+    "frames_late",
+    "frames_shed",
+    "flushes",
+    "groups_flushed",
+    "records_dropped",
+)
+
+counts = st.integers(min_value=0, max_value=10_000)
+seconds = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+summaries = st.builds(
+    lambda counters, latency_sum, latency_max, reasons: {
+        **dict(zip(_COUNTERS, counters)),
+        "latency_sum_s": latency_sum,
+        "max_latency_s": latency_max,
+        "flush_reasons": reasons,
+    },
+    counters=st.tuples(*[counts] * len(_COUNTERS)),
+    latency_sum=seconds,
+    latency_max=seconds,
+    reasons=st.dictionaries(
+        st.sampled_from(["batch_target", "deadline", "drain"]),
+        st.integers(min_value=0, max_value=500),
+        max_size=3,
+    ),
+)
+
+
+def fold(*leaves):
+    merged = None
+    for leaf in leaves:
+        merged = merge_scheduler_summaries(merged, leaf)
+    return merged
+
+
+def assert_summaries_equal(left: dict, right: dict) -> None:
+    assert left.keys() == right.keys()
+    for key in left:
+        if isinstance(left[key], float):
+            assert left[key] == pytest.approx(right[key]), key
+        else:
+            assert left[key] == right[key], key
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=summaries, b=summaries, c=summaries)
+def test_fold_is_associative(a, b, c):
+    # (a + b) + c  ==  a + (b + c): merged dicts are themselves
+    # mergeable leaves, whichever side accumulated first.
+    left = merge_scheduler_summaries(fold(a, b), c)
+    right = merge_scheduler_summaries(fold(a), fold(b, c))
+    assert_summaries_equal(left, right)
+    assert left["summaries_merged"] == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(leaves=st.lists(summaries, min_size=1, max_size=6))
+def test_fold_counts_every_leaf(leaves):
+    merged = fold(*leaves)
+    assert merged["summaries_merged"] == len(leaves)
+    assert merged["frames_submitted"] == sum(
+        leaf["frames_submitted"] for leaf in leaves
+    )
+    assert merged["frames_missing"] == (
+        merged["frames_submitted"]
+        - merged["frames_detected"]
+        - merged["frames_shed"]
+    )
+
+
+def test_dead_lane_stays_visible():
+    # A crashed/empty worker's summary is all zeros — alone it reads as
+    # a perfect lane (hit-rate over zero frames is 1.0).  Merged, it
+    # must still be countable and must not improve the fleet's numbers.
+    live = {
+        **{key: 0 for key in _COUNTERS},
+        "frames_submitted": 100,
+        "frames_detected": 90,
+        "frames_on_time": 80,
+        "frames_late": 10,
+        "frames_shed": 4,
+        "flushes": 10,
+        "latency_sum_s": 1.0,
+        "max_latency_s": 0.2,
+        "flush_reasons": {"deadline": 10},
+    }
+    dead = {
+        **{key: 0 for key in _COUNTERS},
+        "latency_sum_s": 0.0,
+        "max_latency_s": 0.0,
+        "flush_reasons": {},
+    }
+    assert fold(dead)["deadline_hit_rate"] == 1.0  # the trap, alone
+    merged = fold(live, dead)
+    assert merged["summaries_merged"] == 2
+    assert merged["deadline_hit_rate"] == pytest.approx(80 / 90)
+    # 100 submitted, 90 detected, 4 shed: six frames vanished, and the
+    # merge says so instead of hiding them in a ratio.
+    assert merged["frames_missing"] == 6
