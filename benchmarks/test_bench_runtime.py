@@ -234,6 +234,62 @@ def test_array_backend_cold_prepare_not_slower(workload):
     )
 
 
+def test_warm_path_uploads_zero_context_bytes(workload):
+    """Device residency acceptance: replaying a coherence block on the
+    array backend moves `received` up and the results down — zero
+    context bytes.  Measured with a transfer-counting module wrapped
+    around the configured array module (a "fake device" over numpy by
+    default), and recorded so ``BENCH_runtime.json`` tracks warm vs cold
+    upload volume per block.
+    """
+    from repro.runtime import (
+        ArrayBackend,
+        BatchedUplinkEngine,
+        CountingArrayModule,
+    )
+    from repro.utils.xp import default_array_module
+
+    system, channels, received, noise_var = workload
+    detector = build_stack(reference_config()).detector
+    module = CountingArrayModule(default_array_module())
+    engine = BatchedUplinkEngine(
+        detector, backend=ArrayBackend(array_module=module)
+    )
+
+    cold = engine.detect_batch(channels, received, noise_var)
+    warm = engine.detect_batch(channels, received, noise_var)
+    cold_transfers = cold.stats["transfers"]
+    warm_transfers = warm.stats["transfers"]
+    warm_context_bytes = warm_transfers.upload_bytes - received.nbytes
+
+    print(
+        f"\ncold uploads {cold_transfers.upload_bytes / 1e6:.1f} MB, warm "
+        f"uploads {warm_transfers.upload_bytes / 1e6:.1f} MB "
+        f"(received alone is {received.nbytes / 1e6:.1f} MB)"
+    )
+    record_bench(
+        "array_backend_warm_vs_cold_uploads",
+        {
+            "backend": "array",
+            "array_module": module.name,
+            "cold_upload_bytes": cold_transfers.upload_bytes,
+            "cold_uploads": cold_transfers.uploads,
+            "warm_upload_bytes": warm_transfers.upload_bytes,
+            "warm_uploads": warm_transfers.uploads,
+            "warm_context_upload_bytes": warm_context_bytes,
+            "received_bytes": received.nbytes,
+            "download_bytes": warm_transfers.download_bytes,
+        },
+    )
+    # Cold pass ships the stacked contexts; the warm pass must not.
+    assert cold_transfers.upload_bytes > received.nbytes
+    assert warm_transfers.uploads == 1
+    assert warm_context_bytes == 0, (
+        f"warm path re-uploaded {warm_context_bytes} context bytes"
+    )
+    assert warm.stats["resident"].misses == 0
+
+
 def test_warm_cache_amortises_prepare(workload):
     """Replaying a coherence block must skip every prepare."""
     system, channels, received, noise_var = workload

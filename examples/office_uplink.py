@@ -54,6 +54,7 @@ def main() -> None:
     # One runtime description shared by every scheme; each detector gets
     # its own stack (and cache) built from it through the api facade.
     stack_config = StackConfig(backend=BackendSpec(backend))
+    resident_rows = []
     for name, pes, detector in schemes:
         # The batched runtime detects all 16 subcarriers per packet in
         # one call and caches per-channel contexts; the 8-frame trace
@@ -64,6 +65,9 @@ def main() -> None:
                 config, detector, snr_db, packets, sampler, rng=1,
                 engine=engine,
             )
+            store = getattr(engine.backend, "resident_store", None)
+            if store is not None:
+                resident_rows.append((name, pes, store.stats))
         throughput = result.network_throughput_bps(config) / 1e6
         runtime = result.metadata["runtime"]
         print(
@@ -72,6 +76,20 @@ def main() -> None:
             f"{runtime['contexts_prepared']:>9d} "
             f"{runtime['context_cache_hits']:>11d}"
         )
+
+    if resident_rows:
+        print(
+            "\nDevice residency (array backend): the stacked tensors "
+            "upload once per coherence group; warm packets reuse the "
+            "resident copies — zero context bytes on the steady path."
+        )
+        for name, pes, stats in resident_rows:
+            print(
+                f"  {name:16s} ({pes:>3d} PEs): {stats.entries} groups "
+                f"resident, {stats.hits} warm hits, "
+                f"{stats.misses} uploads, "
+                f"{stats.invalidations} invalidations"
+            )
 
     print(
         "\nFlexCore runs at ANY PE count (here 16/64/196) while FCSD is "

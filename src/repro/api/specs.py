@@ -173,11 +173,19 @@ class BackendSpec:
     array_module:
         Array module for the ``array`` backend (``"numpy"``, ``"cupy"``,
         ``"torch"``); ``None`` honours ``REPRO_ARRAY_BACKEND``.
+    residency:
+        Whether the ``array`` backend keeps stacked context tensors
+        device-resident across calls (see
+        :class:`~repro.runtime.residency.ResidentContextStore`).
+        ``None`` — the default — means the backend's default, which is
+        *on*; ``False`` rebuilds the stacks every call.  Only meaningful
+        for the array backend.
     """
 
     name: str = "serial"
     max_workers: "int | None" = None
     array_module: "str | None" = None
+    residency: "bool | None" = None
 
     def __post_init__(self) -> None:
         if self.name not in available_backends():
@@ -205,6 +213,11 @@ class BackendSpec:
                     f"unknown array_module {self.array_module!r}; "
                     f"options: {', '.join(ARRAY_MODULE_NAMES)}"
                 )
+        if self.residency is not None and self.name != "array":
+            raise ConfigurationError(
+                "residency only applies to the array backend, "
+                f"not {self.name!r}"
+            )
 
     # ------------------------------------------------------------------
     def build(self) -> ExecutionBackend:
@@ -214,6 +227,8 @@ class BackendSpec:
             kwargs["max_workers"] = self.max_workers
         if self.array_module is not None:
             kwargs["array_module"] = self.array_module
+        if self.residency is not None:
+            kwargs["residency"] = self.residency
         return make_backend(self.name, **kwargs)
 
     def to_dict(self) -> dict:
@@ -221,6 +236,7 @@ class BackendSpec:
             "name": self.name,
             "max_workers": self.max_workers,
             "array_module": self.array_module,
+            "residency": self.residency,
         }
 
     @classmethod

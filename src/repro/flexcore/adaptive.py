@@ -74,10 +74,23 @@ class AdaptiveFlexCoreDetector(FlexCoreDetector):
         received: np.ndarray,
         counter: FlopCounter = NULL_COUNTER,
         xp=None,
+        store=None,
+        max_paths: "int | None" = None,
     ):
         indices, metadata = super().detect_block_prepared(
-            contexts, received, counter=counter, xp=xp
+            contexts,
+            received,
+            counter=counter,
+            xp=xp,
+            store=store,
+            max_paths=max_paths,
         )
+        # The kernel sees the *unclamped* cached contexts (the budget is
+        # a slice inside it), so report the effective activation the way
+        # the serial path's clamped copies would.
         for entry, context in zip(metadata, contexts):
-            entry["active_paths"] = context.active_paths
+            active = context.active_paths
+            if max_paths is not None:
+                active = min(active, int(max_paths))
+            entry["active_paths"] = int(active)
         return indices, metadata

@@ -294,7 +294,7 @@ class FlexCoreDetector(Detector):
         tensors).
         """
         xp = resolve_array_module(xp)
-        points = xp.asarray(self.system.constellation.points)
+        points = self.system.constellation.device_points(xp)
         distances = xp.abs(effective[..., None] - points) ** 2
         order = xp.argsort(distances, axis=-1)
         return xp.take_along_axis(order, ranks[..., None] - 1, axis=-1)[..., 0]
@@ -308,6 +308,8 @@ class FlexCoreDetector(Detector):
         received: np.ndarray,
         counter: FlopCounter = NULL_COUNTER,
         xp=None,
+        store=None,
+        max_paths: "int | None" = None,
     ) -> "tuple[np.ndarray, list[dict]]":
         """Detect a ``(S, F, Nr)`` block over ``S`` prepared contexts.
 
@@ -319,31 +321,46 @@ class FlexCoreDetector(Detector):
         arrays).  Under numpy the result is bit-identical to calling
         :meth:`detect_prepared` per subcarrier.
 
+        ``store`` is an optional
+        :class:`~repro.runtime.residency.ResidentContextStore`: the
+        stacked context tensors are fetched from it device-side on warm
+        calls, so only ``received`` is uploaded.  ``max_paths`` applies
+        the control plane's path budget by *slicing* the (resident)
+        stacks — a view, never a re-upload, and never a mutation of the
+        cached contexts.
+
         Returns ``(indices, metadata)``: ``(S, F, Nt)`` hard decisions in
         original stream order plus one metadata dict per subcarrier,
-        matching what the per-subcarrier loop would produce.
+        matching what the per-subcarrier loop would produce.  ``indices``
+        comes home in a single ``to_numpy``.
         """
         xp = resolve_array_module(xp)
         received = self._check_block_received(contexts, received)
         num_subcarriers, num_frames, _ = received.shape
         num_streams = self.system.num_streams
-        indices = np.empty(
-            (num_subcarriers, num_frames, num_streams), dtype=np.int64
+        # One upload per call: groups slice it device-side.
+        received_dev = xp.asarray(received)
+        indices_dev = xp.zeros(
+            (num_subcarriers, num_frames, num_streams), dtype=xp.int64
         )
         metadata: list = [None] * num_subcarriers
-        for paths, members in self._group_by_paths(contexts).items():
+        groups = self._group_by_paths(contexts, max_paths)
+        for (_prepared, paths), members in groups.items():
             block_indices, deactivated = self._detect_group(
                 [contexts[sc] for sc in members],
-                received[members],
+                received_dev[members],
                 xp,
                 counter,
+                store=store,
+                max_paths=paths,
             )
-            indices[members] = block_indices
+            indices_dev[members] = block_indices
             for j, sc in enumerate(members):
                 metadata[sc] = {
                     "paths": paths,
                     "deactivated_path_evaluations": int(deactivated[j]),
                 }
+        indices = np.asarray(xp.to_numpy(indices_dev), dtype=np.int64)
         return indices, metadata
 
     def _check_block_received(self, contexts, received) -> np.ndarray:
@@ -366,27 +383,51 @@ class FlexCoreDetector(Detector):
         return received
 
     @staticmethod
-    def _group_by_paths(contexts) -> "dict[int, list[int]]":
-        """Subcarrier indices grouped by active path count.
+    def _group_by_paths(
+        contexts, max_paths: "int | None" = None
+    ) -> "dict[tuple[int, int], list[int]]":
+        """Subcarrier indices grouped by ``(prepared, effective)`` paths.
 
         Contexts in a group stack into one rectangular ``(G, F, P, Nt)``
         tensor; groups differ only when pre-processing stopped early or
-        a-FlexCore trimmed the active set."""
-        groups: dict[int, list[int]] = {}
+        a-FlexCore trimmed the active set.  ``effective`` is the prepared
+        count clamped to the ``max_paths`` budget — a pure function of
+        ``prepared`` within one call, so group membership (and therefore
+        the residency key of each group's stack) is stable while an AIMD
+        governor sweeps the budget up and down."""
+        groups: dict[tuple[int, int], list[int]] = {}
         for sc, context in enumerate(contexts):
-            groups.setdefault(
-                context.position_vectors.shape[0], []
-            ).append(sc)
+            prepared = context.position_vectors.shape[0]
+            effective = (
+                prepared
+                if max_paths is None
+                else min(prepared, int(max_paths))
+            )
+            groups.setdefault((prepared, effective), []).append(sc)
         return groups
 
     def _detect_group(
-        self, contexts, received: np.ndarray, xp, counter: FlopCounter
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Hard-detect one equal-path-count group as a stacked tensor."""
+        self,
+        contexts,
+        received,
+        xp,
+        counter: FlopCounter,
+        store=None,
+        max_paths: "int | None" = None,
+    ) -> tuple:
+        """Hard-detect one equal-path-count group as a stacked tensor.
+
+        ``received`` is already on the module; the context stack comes
+        from the resident ``store`` when one is supplied (zero uploads on
+        a warm hit) and ``max_paths`` slices it to the effective path
+        count.  Returns device-side decisions ``(G, F, Nt)`` plus host
+        per-subcarrier deactivation counts.
+        """
         group, frames, _ = received.shape
-        paths = contexts[0].position_vectors.shape[0]
-        stacked = _StackedContexts.build(contexts, xp)
-        rotated = xp.matmul(xp.asarray(received), xp.conj(stacked.q))
+        stacked = _StackedContexts.resident(contexts, xp, store)
+        stacked = stacked.clamp(max_paths)
+        paths = stacked.positions.shape[1]
+        rotated = xp.matmul(received, stacked.q_conj)
         chunk = max(1, MAX_CHUNK_ELEMENTS // max(group * paths, 1))
         pieces = []
         deactivated = np.zeros(group, dtype=np.int64)
@@ -403,10 +444,7 @@ class FlexCoreDetector(Detector):
             )
         chosen = pieces[0] if len(pieces) == 1 else xp.concatenate(pieces, axis=1)
         restored = self._restore_stream_order(chosen, stacked, xp)
-        return (
-            np.asarray(xp.to_numpy(restored), dtype=np.int64),
-            deactivated,
-        )
+        return restored, deactivated
 
     @staticmethod
     def _best_leaf(sym_indices, ped, xp):
@@ -422,7 +460,7 @@ class FlexCoreDetector(Detector):
     def _restore_stream_order(chosen, stacked: "_StackedContexts", xp):
         """Un-permute ``(G, F, Nt)`` decisions to original stream order."""
         inverse_idx = xp.broadcast_to(
-            xp.asarray(stacked.inverse_permutation)[:, None, :], chosen.shape
+            stacked.inverse_permutation[:, None, :], chosen.shape
         )
         return xp.take_along_axis(chosen, inverse_idx, axis=2)
 
@@ -446,7 +484,7 @@ class FlexCoreDetector(Detector):
         group, frames = rotated.shape[0], rotated.shape[1]
         paths = stacked.positions.shape[1]
         num_streams = self.system.num_streams
-        points = xp.asarray(self.system.constellation.points)
+        points = self.system.constellation.device_points(xp)
         symbols = xp.zeros(
             (group, frames, paths, num_streams), dtype=xp.complex128
         )
@@ -496,29 +534,62 @@ class FlexCoreDetector(Detector):
 class _StackedContexts:
     """Per-group context arrays stacked for the tensor walk.
 
-    ``q``/``r``/``diag``/``weights``/``positions`` live on the kernel's
-    array module; ``inverse_permutation`` stays a host array (it is also
-    consumed by numpy-side result scattering).
+    Every field lives on the kernel's array module; ``q_conj`` is stored
+    pre-conjugated so the per-call rotation is a bare matmul.  A stack is
+    built (uploaded) once per group and — when a
+    :class:`~repro.runtime.residency.ResidentContextStore` is in play —
+    reused device-side across calls; path budgets are applied with
+    :meth:`clamp`, a zero-copy slice.
     """
 
-    q: "object"
+    q_conj: "object"
     r: "object"
     diag: "object"
     weights: "object"
     positions: "object"
-    inverse_permutation: np.ndarray
+    inverse_permutation: "object"
 
     @classmethod
     def build(cls, contexts, xp) -> "_StackedContexts":
         return cls(
-            q=xp.asarray(np.stack([c.qr.q for c in contexts])),
+            q_conj=xp.asarray(np.conj(np.stack([c.qr.q for c in contexts]))),
             r=xp.asarray(np.stack([c.qr.r for c in contexts])),
             diag=xp.asarray(np.stack([c.diag for c in contexts])),
             weights=xp.asarray(np.stack([c.weights for c in contexts])),
             positions=xp.asarray(
                 np.stack([c.position_vectors for c in contexts])
             ),
-            inverse_permutation=np.stack(
-                [np.argsort(c.qr.permutation) for c in contexts]
+            inverse_permutation=xp.asarray(
+                np.stack([np.argsort(c.qr.permutation) for c in contexts])
             ),
+        )
+
+    @classmethod
+    def resident(cls, contexts, xp, store=None) -> "_StackedContexts":
+        """Fetch the group's stack from the resident store (or build).
+
+        The store is keyed on the identity of the *unclamped* cached
+        contexts, so governor clamps (applied afterwards via
+        :meth:`clamp`) always hit the same resident entry.
+        """
+        if store is None:
+            return cls.build(contexts, xp)
+        return store.get_or_build(contexts, xp, cls.build)
+
+    def clamp(self, max_paths: "int | None") -> "_StackedContexts":
+        """Slice the stack down to a path budget — a view, not a copy.
+
+        Only ``positions`` carries a path axis; ``r``/``diag``/
+        ``weights``/``q_conj`` are budget-independent, so clamping a
+        resident stack moves zero bytes.
+        """
+        if max_paths is None or max_paths >= self.positions.shape[1]:
+            return self
+        return _StackedContexts(
+            q_conj=self.q_conj,
+            r=self.r,
+            diag=self.diag,
+            weights=self.weights,
+            positions=self.positions[:, : int(max_paths)],
+            inverse_permutation=self.inverse_permutation,
         )

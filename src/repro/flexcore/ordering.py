@@ -82,6 +82,11 @@ class TriangleOrdering:
         order = np.lexsort((offsets[:, 1], offsets[:, 0], scores))
         self.offsets = offsets[order]
         self.max_rank = self.offsets.shape[0]
+        # One device copy of the LUT per array module (lazy import keeps
+        # the table layer free of runtime dependencies at module load).
+        from repro.utils.xp import DeviceConstantCache
+
+        self._device_tables = DeviceConstantCache()
 
     @staticmethod
     def _centroid_scores(offsets: np.ndarray) -> np.ndarray:
@@ -137,7 +142,7 @@ class TriangleOrdering:
         xp = resolve_array_module(xp)
         constellation = self.constellation
         side = constellation.side
-        z = xp.asarray(effective) / constellation.scale
+        z = xp.ensure(effective) / constellation.scale
         zr, zi = xp.real(z), xp.imag(z)
 
         clamp = max(side - 2, 0)
@@ -154,10 +159,11 @@ class TriangleOrdering:
         sign_y = xp.where(dy >= 0, 1, -1)
         swap = xp.abs(dy) > xp.abs(dx)
 
-        ranks = xp.asarray(ranks)
+        ranks = xp.ensure(ranks)
         valid_rank = (ranks >= 1) & (ranks <= self.max_rank)
         safe = xp.where(valid_rank, ranks, 1) - 1
-        base = xp.asarray(self.offsets)[safe]  # (..., 2) canonical offsets
+        # (..., 2) canonical offsets from the per-module device LUT.
+        base = self._device_tables.get(xp, self.offsets)[safe]
         du = xp.where(swap, base[..., 1], base[..., 0])
         dv = xp.where(swap, base[..., 0], base[..., 1])
         u = centre_u + sign_x * du

@@ -85,6 +85,10 @@ class SoftFlexCoreDetector(FlexCoreDetector):
         self._bits_of_index = ints_to_bits(
             np.arange(constellation.order), constellation.bits_per_symbol
         ).reshape(constellation.order, constellation.bits_per_symbol)
+        # One device copy of the bit table per array module.
+        from repro.utils.xp import DeviceConstantCache
+
+        self._device_tables = DeviceConstantCache()
 
     # ------------------------------------------------------------------
     def detect_soft_prepared(
@@ -227,6 +231,8 @@ class SoftFlexCoreDetector(FlexCoreDetector):
         noise_var: float,
         counter: FlopCounter = NULL_COUNTER,
         xp=None,
+        store=None,
+        max_paths: "int | None" = None,
     ) -> "tuple[np.ndarray, np.ndarray, list[dict]]":
         """Soft-detect a ``(S, F, Nr)`` block over prepared contexts.
 
@@ -236,52 +242,70 @@ class SoftFlexCoreDetector(FlexCoreDetector):
         the stacked path axis.  Under numpy the hard decisions *and* the
         LLRs are bit-identical to the per-subcarrier path.
 
+        ``store``/``max_paths`` behave exactly as on
+        :meth:`~repro.flexcore.detector.FlexCoreDetector.detect_block_prepared`:
+        resident context stacks are reused device-side and the path
+        budget slices them (a view, never an upload or a mutation of the
+        cached contexts).
+
         Returns ``(indices, llrs, metadata)`` with shapes ``(S, F, Nt)``
-        / ``(S, F, Nt * bits_per_symbol)``.
+        / ``(S, F, Nt * bits_per_symbol)``; each comes home in a single
+        ``to_numpy``.
         """
         xp = resolve_array_module(xp)
         received = self._check_block_received(contexts, received)
         num_subcarriers, num_frames, _ = received.shape
         num_streams = self.system.num_streams
         width = num_streams * self.system.constellation.bits_per_symbol
-        indices = np.empty(
-            (num_subcarriers, num_frames, num_streams), dtype=np.int64
+        received_dev = xp.asarray(received)
+        indices_dev = xp.zeros(
+            (num_subcarriers, num_frames, num_streams), dtype=xp.int64
         )
-        llrs = np.empty((num_subcarriers, num_frames, width))
+        llrs_dev = xp.zeros(
+            (num_subcarriers, num_frames, width), dtype=xp.float64
+        )
         metadata: list = [None] * num_subcarriers
-        for paths, members in self._group_by_paths(contexts).items():
+        groups = self._group_by_paths(contexts, max_paths)
+        for (_prepared, paths), members in groups.items():
             block_indices, block_llrs, clamped = self._detect_soft_group(
                 [contexts[sc] for sc in members],
-                received[members],
+                received_dev[members],
                 noise_var,
                 xp,
                 counter,
+                store=store,
+                max_paths=paths,
             )
-            indices[members] = block_indices
-            llrs[members] = block_llrs
+            indices_dev[members] = block_indices
+            llrs_dev[members] = block_llrs
             for j, sc in enumerate(members):
                 metadata[sc] = {
                     "paths": max(paths, 1),
                     "clamped_bits": int(clamped[j]),
                 }
+        indices = np.asarray(xp.to_numpy(indices_dev), dtype=np.int64)
+        llrs = np.asarray(xp.to_numpy(llrs_dev), dtype=np.float64)
         return indices, llrs, metadata
 
     def _detect_soft_group(
         self,
         contexts,
-        received: np.ndarray,
+        received,
         noise_var: float,
         xp,
         counter: FlopCounter,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        store=None,
+        max_paths: "int | None" = None,
+    ) -> tuple:
         group, frames, _ = received.shape
-        paths = max(contexts[0].position_vectors.shape[0], 1)
         num_streams = self.system.num_streams
         bits_per_symbol = self.system.constellation.bits_per_symbol
         width = num_streams * bits_per_symbol
-        stacked = _StackedContexts.build(contexts, xp)
-        rotated = xp.matmul(xp.asarray(received), xp.conj(stacked.q))
-        bits_table = xp.asarray(self._bits_of_index)
+        stacked = _StackedContexts.resident(contexts, xp, store)
+        stacked = stacked.clamp(max_paths)
+        paths = max(stacked.positions.shape[1], 1)
+        rotated = xp.matmul(received, stacked.q_conj)
+        bits_table = self._device_tables.get(xp, self._bits_of_index)
         chunk = max(1, MAX_CHUNK_ELEMENTS // max(group * paths, 1))
         hard_pieces = []
         llr_pieces = []
@@ -339,18 +363,11 @@ class SoftFlexCoreDetector(FlexCoreDetector):
         hard = self._restore_stream_order(hard, stacked, xp)
         grouped = soft.reshape(group, frames, num_streams, bits_per_symbol)
         llr_idx = xp.broadcast_to(
-            xp.asarray(stacked.inverse_permutation)[:, None, :, None],
+            stacked.inverse_permutation[:, None, :, None],
             (group, frames, num_streams, bits_per_symbol),
         )
         restored = xp.take_along_axis(grouped, llr_idx, axis=2)
-        return (
-            np.asarray(xp.to_numpy(hard), dtype=np.int64),
-            np.asarray(
-                xp.to_numpy(restored.reshape(group, frames, width)),
-                dtype=np.float64,
-            ),
-            clamped,
-        )
+        return hard, restored.reshape(group, frames, width), clamped
 
     def _restore_llr_order(
         self, context: FlexCoreContext, llrs: np.ndarray

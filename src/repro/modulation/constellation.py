@@ -68,6 +68,28 @@ class QamConstellation:
         self._position_of_gray = np.empty(self.side, dtype=np.int64)
         self._position_of_gray[self._gray_of_position] = positions
         self.points = self._build_points()
+        # Device copies of the immutable tables above, one upload per
+        # array module (see DeviceConstantCache) — the detection kernels'
+        # warm path re-uploads nothing.
+        self._device_tables = None
+
+    def device_constant(self, xp, host: np.ndarray) -> "np.ndarray":
+        """``host`` (one of this constellation's tables) on module ``xp``.
+
+        Uploaded on first use per module, then served from a
+        :class:`~repro.utils.xp.DeviceConstantCache`.
+        """
+        if self._device_tables is None:
+            from repro.utils.xp import DeviceConstantCache
+
+            self._device_tables = DeviceConstantCache()
+        return self._device_tables.get(xp, host)
+
+    def device_points(self, xp=None) -> "np.ndarray":
+        """:attr:`points` on module ``xp`` (memoized; numpy passes through)."""
+        from repro.utils.xp import resolve_array_module
+
+        return self.device_constant(resolve_array_module(xp), self.points)
 
     def _build_points(self) -> np.ndarray:
         indices = np.arange(self.order)
@@ -98,8 +120,10 @@ class QamConstellation:
         from repro.utils.xp import resolve_array_module
 
         xp = resolve_array_module(xp)
-        u = xp.asarray(u, dtype=xp.int64)
-        v = xp.asarray(v, dtype=xp.int64)
+        # ensure(): inputs from the detection kernels already live on the
+        # module — this is dtype normalisation, not a host→device upload.
+        u = xp.ensure(u, dtype=xp.int64)
+        v = xp.ensure(v, dtype=xp.int64)
         pos_i = (u + self.side - 1) >> 1
         pos_q = (v + self.side - 1) >> 1
         valid = (
@@ -112,7 +136,7 @@ class QamConstellation:
         )
         pos_i = xp.clip(pos_i, 0, self.side - 1)
         pos_q = xp.clip(pos_q, 0, self.side - 1)
-        gray_table = xp.asarray(self._gray_of_position)
+        gray_table = self.device_constant(xp, self._gray_of_position)
         gray_i = gray_table[pos_i]
         gray_q = gray_table[pos_q]
         index = (gray_i << self._axis_bits) | gray_q

@@ -58,10 +58,13 @@ from repro.runtime.scheduler import (
     StreamingScheduler,
     merge_scheduler_summaries,
 )
+from repro.runtime.residency import ResidencyStats, ResidentContextStore
 from repro.runtime.service import DetectionService, clamp_context_paths
 from repro.runtime.xp import (
     ARRAY_BACKEND_ENV,
     ArrayModule,
+    CountingArrayModule,
+    TransferStats,
     available_array_modules,
     resolve_array_module,
 )
@@ -77,6 +80,7 @@ __all__ = [
     "CellFarm",
     "CellStats",
     "ContextCache",
+    "CountingArrayModule",
     "DetectionService",
     "ExecutionBackend",
     "FlushRecord",
@@ -84,9 +88,12 @@ __all__ = [
     "FrameDetection",
     "MicroBatcher",
     "ProcessPoolBackend",
+    "ResidencyStats",
+    "ResidentContextStore",
     "RuntimeStats",
     "SchedulerTelemetry",
     "SerialBackend",
+    "TransferStats",
     "StreamingScheduler",
     "StreamingUplinkEngine",
     "UplinkBatch",

@@ -160,15 +160,45 @@ class ArrayBackend(ExecutionBackend):
         An :class:`~repro.runtime.xp.ArrayModule`, a name (``"numpy"``,
         ``"cupy"``, ``"torch"``), or ``None`` to honour the
         ``REPRO_ARRAY_BACKEND`` environment variable (numpy when unset).
+    residency:
+        Keep stacked context tensors device-resident across calls (a
+        :class:`~repro.runtime.residency.ResidentContextStore` shared by
+        every cell on this backend).  On by default: warm coherence-cache
+        hits then upload zero context bytes.  Turn off to rebuild the
+        stacks every call (the pre-residency behaviour; results are
+        identical either way).
+    max_resident_groups:
+        Capacity of the resident store (LRU over context groups).
     """
 
     name = "array"
 
-    def __init__(self, array_module: "str | ArrayModule | None" = None):
+    def __init__(
+        self,
+        array_module: "str | ArrayModule | None" = None,
+        residency: bool = True,
+        max_resident_groups: int = 256,
+    ):
         if array_module is None:
             self.array_module = default_array_module()
         else:
             self.array_module = resolve_array_module(array_module)
+        if residency:
+            from repro.runtime.residency import ResidentContextStore
+
+            self.resident_store = ResidentContextStore(
+                max_groups=max_resident_groups
+            )
+        else:
+            self.resident_store = None
+
+    @property
+    def residency(self) -> bool:
+        return self.resident_store is not None
+
+    def close(self) -> None:
+        if self.resident_store is not None:
+            self.resident_store.clear()
 
     def run(self, worker: Callable, payloads: Sequence) -> list:
         # Satisfies the ExecutionBackend ABC only: the engine dispatches

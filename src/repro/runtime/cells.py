@@ -44,6 +44,7 @@ from repro.runtime.scheduler import (
 )
 from repro.runtime.service import DetectionService, supports_soft
 from repro.utils.flops import NULL_COUNTER, FlopCounter
+from repro.utils.xp import TransferStats
 
 
 @dataclass
@@ -68,12 +69,17 @@ class CellStats:
     #: The cell's accumulated cache movement (hits/misses/evictions are
     #: summed flush deltas; ``entries`` is the latest occupancy).
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Accumulated host↔device transfer movement, present only once the
+    #: cell has flushed through a transfer-metering array module (see
+    #: :class:`~repro.utils.xp.CountingArrayModule`).
+    transfers: "TransferStats | None" = None
 
     def account(
         self,
         record: FlushRecord,
         cache_delta: CacheStats,
         frames_on_time: "int | None" = None,
+        transfers: "TransferStats | None" = None,
     ) -> None:
         self.frames += record.frames
         self.flushes += 1
@@ -87,6 +93,9 @@ class CellStats:
             evictions=self.cache.evictions + cache_delta.evictions,
             entries=cache_delta.entries,
         )
+        if transfers is not None:
+            base = self.transfers or TransferStats()
+            self.transfers = base.plus(transfers)
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -117,7 +126,7 @@ class CellStats:
 
     def as_dict(self) -> dict:
         """JSON-friendly snapshot (what ``UplinkStack.stats`` surfaces)."""
-        return {
+        payload = {
             "frames": self.frames,
             "flushes": self.flushes,
             "frames_on_time": self.frames_on_time,
@@ -126,6 +135,9 @@ class CellStats:
             "deadline_hit_rate": self.deadline_hit_rate,
             "cache": self.cache.as_dict(),
         }
+        if self.transfers is not None:
+            payload["transfers"] = self.transfers.as_dict()
+        return payload
 
 
 class Cell:

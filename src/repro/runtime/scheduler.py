@@ -153,21 +153,36 @@ class SchedulerTelemetry:
     records_dropped: int = 0
     latency_sum_s: float = 0.0
     max_latency_s: float = 0.0
+    #: Host↔device transfer movement (array backend with a metering
+    #: module only; zero otherwise — see
+    #: :class:`~repro.utils.xp.CountingArrayModule`).
+    uploads: int = 0
+    upload_bytes: int = 0
+    downloads: int = 0
+    download_bytes: int = 0
 
     def record(
         self,
         record: FlushRecord,
         groups: int,
         frames_on_time: "int | None" = None,
+        transfers=None,
     ) -> None:
         """Account one flush.
 
         ``frames_on_time`` is the per-group deadline accounting (a group
         counts as on time when the flush completed before *that group's*
         deadline); when omitted the record's conservative earliest-
-        deadline verdict covers every frame.
+        deadline verdict covers every frame.  ``transfers`` is the
+        flush's :class:`~repro.utils.xp.TransferStats` delta when the
+        backend's array module meters transfers.
         """
         self.flushes += 1
+        if transfers is not None:
+            self.uploads += transfers.uploads
+            self.upload_bytes += transfers.upload_bytes
+            self.downloads += transfers.downloads
+            self.download_bytes += transfers.download_bytes
         self.groups_flushed += groups
         self.frames_detected += record.frames
         if frames_on_time is None:
@@ -223,6 +238,10 @@ class SchedulerTelemetry:
             "max_latency_s": self.max_latency_s,
             "latency_sum_s": self.latency_sum_s,
             "records_dropped": self.records_dropped,
+            "uploads": self.uploads,
+            "upload_bytes": self.upload_bytes,
+            "downloads": self.downloads,
+            "download_bytes": self.download_bytes,
             "summaries_merged": 1,
         }
 
@@ -257,6 +276,10 @@ def merge_scheduler_summaries(
         "groups_flushed",
         "records_dropped",
         "latency_sum_s",
+        "uploads",
+        "upload_bytes",
+        "downloads",
+        "download_bytes",
     )
     if accumulated is None:
         merged = {key: summary.get(key, 0) for key in counters}
@@ -789,8 +812,12 @@ class StreamingScheduler:
             frames_on_time = sum(
                 g.frames for g in bucket if completed_s <= g.deadline_s
             )
+            transfers = result.stats.get("transfers")
             self.telemetry.record(
-                record, groups=len(bucket), frames_on_time=frames_on_time
+                record,
+                groups=len(bucket),
+                frames_on_time=frames_on_time,
+                transfers=transfers,
             )
             if self.governor is not None:
                 self.governor.observe_flush(
@@ -802,7 +829,12 @@ class StreamingScheduler:
                 )
             stats = getattr(cell, "stats", None)
             if stats is not None:
-                stats.account(record, result.stats["cache"], frames_on_time)
+                stats.account(
+                    record,
+                    result.stats["cache"],
+                    frames_on_time,
+                    transfers=transfers,
+                )
             for sc, group in enumerate(bucket):
                 offset = 0
                 for arrival, future in group.arrivals:

@@ -22,6 +22,7 @@ subcarriers in flight (§5.2).
 from __future__ import annotations
 
 import copy
+import inspect
 
 import numpy as np
 
@@ -154,6 +155,27 @@ def _run_shard(payload) -> tuple:
 def supports_soft(detector) -> bool:
     """Whether ``detector`` produces per-bit LLRs."""
     return hasattr(detector, "detect_soft_prepared")
+
+
+_KERNEL_RESIDENCY: "dict[object, bool]" = {}
+
+
+def _kernel_accepts_residency(kernel) -> bool:
+    """Whether a block kernel takes the ``store``/``max_paths`` kwargs.
+
+    The in-repo FlexCore kernels do; third-party detectors implementing
+    the pre-residency ``(contexts, received, counter=, xp=)`` signature
+    keep working — the service falls back to clamping their contexts up
+    front and building stacks per call.  Probed once per kernel function
+    (not per call).
+    """
+    key = getattr(kernel, "__func__", kernel)
+    cached = _KERNEL_RESIDENCY.get(key)
+    if cached is None:
+        parameters = inspect.signature(kernel).parameters
+        cached = "store" in parameters and "max_paths" in parameters
+        _KERNEL_RESIDENCY[key] = cached
+    return cached
 
 
 class DetectionService:
@@ -333,22 +355,31 @@ class DetectionService:
         Detectors without a block kernel (or without a soft one when
         ``use_soft``) run the per-subcarrier loop on the backend's
         thread instead — selecting ``backend="array"`` is always safe.
+
+        Contexts reach residency-aware kernels *unclamped*: the path
+        budget is applied exactly once, as a slice of the (resident)
+        stacked tensors inside the kernel — never by copying contexts,
+        never twice.  The cached context objects are the residency keys,
+        so warm coherence-cache hits find their stacks device-side and
+        upload zero context bytes; ``stats["transfers"]`` /
+        ``stats["resident"]`` carry the per-batch accounting when the
+        module meters transfers / the backend keeps a store.
         """
         xp = self.backend.array_module
+        store = getattr(self.backend, "resident_store", None)
+        transfers_before = xp.transfer_stats()
+        resident_before = store.stats if store is not None else None
         contexts, delta = self._prepare_contexts_block(
             detector, batch, cache, counter
         )
-        if max_paths is not None:
-            contexts = [
-                clamp_context_paths(context, max_paths)
-                for context in contexts
-            ]
         stacked = detector.has_block_kernel and (
             not use_soft
             or callable(getattr(detector, "detect_soft_block_prepared", None))
         )
         llrs = None
         if not stacked:
+            # Per-subcarrier fallback: _detect_block owns the (single)
+            # clamp, so cached contexts are never pre-copied here.
             indices, llrs, metadata = _detect_block(
                 detector,
                 batch.channels,
@@ -357,39 +388,60 @@ class DetectionService:
                 contexts,
                 counter,
                 use_soft,
-            )
-        elif use_soft:
-            indices, llrs, metadata = detector.detect_soft_block_prepared(
-                contexts,
-                batch.received,
-                batch.noise_var,
-                counter=counter,
-                xp=xp,
+                max_paths,
             )
         else:
-            indices, metadata = detector.detect_block_prepared(
-                contexts, batch.received, counter=counter, xp=xp
+            kernel = (
+                detector.detect_soft_block_prepared
+                if use_soft
+                else detector.detect_block_prepared
             )
+            kwargs = {"counter": counter, "xp": xp}
+            if _kernel_accepts_residency(kernel):
+                kwargs["store"] = store
+                kwargs["max_paths"] = max_paths
+            elif max_paths is not None:
+                # Legacy kernel signature: clamp shallow copies up
+                # front (the cached originals stay untouched).
+                contexts = [
+                    clamp_context_paths(context, max_paths)
+                    for context in contexts
+                ]
+            if use_soft:
+                indices, llrs, metadata = kernel(
+                    contexts, batch.received, batch.noise_var, **kwargs
+                )
+            else:
+                indices, metadata = kernel(
+                    contexts, batch.received, **kwargs
+                )
         path_groups = len(
-            {getattr(context, "active_paths", 0) for context in contexts}
+            {
+                min(
+                    getattr(context, "active_paths", 0),
+                    max_paths if max_paths is not None else np.inf,
+                )
+                for context in contexts
+            }
         )
+        base = {
+            "backend": self.backend.name,
+            "array_module": xp.name,
+            "stacked": stacked,
+            "path_groups": path_groups,
+            "shards": 1,
+            "subcarriers": batch.num_subcarriers,
+            "frames": batch.num_frames,
+        }
+        if transfers_before is not None:
+            base["transfers"] = xp.transfer_stats().since(transfers_before)
+        if resident_before is not None:
+            base["resident"] = store.stats.since(resident_before)
         return BatchDetectionResult(
             indices=indices,
             llrs=llrs,
             per_subcarrier_metadata=metadata,
-            stats=self._stats(
-                {
-                    "backend": self.backend.name,
-                    "array_module": xp.name,
-                    "stacked": stacked,
-                    "path_groups": path_groups,
-                    "shards": 1,
-                    "subcarriers": batch.num_subcarriers,
-                    "frames": batch.num_frames,
-                },
-                delta,
-                max_paths,
-            ),
+            stats=self._stats(base, delta, max_paths),
         )
 
     def _detect_serial(

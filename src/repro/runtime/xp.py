@@ -14,9 +14,12 @@ Select a module per call (``resolve_array_module("torch")``), per engine
 from repro.utils.xp import (
     ARRAY_BACKEND_ENV,
     ArrayModule,
+    CountingArrayModule,
     CupyArrayModule,
+    DeviceConstantCache,
     NumpyArrayModule,
     TorchArrayModule,
+    TransferStats,
     available_array_modules,
     default_array_module,
     resolve_array_module,
@@ -25,9 +28,12 @@ from repro.utils.xp import (
 __all__ = [
     "ARRAY_BACKEND_ENV",
     "ArrayModule",
+    "CountingArrayModule",
     "CupyArrayModule",
+    "DeviceConstantCache",
     "NumpyArrayModule",
     "TorchArrayModule",
+    "TransferStats",
     "available_array_modules",
     "default_array_module",
     "resolve_array_module",

@@ -15,8 +15,18 @@ runs unchanged on any array library that implements it:
 
 Selection: pass an :class:`ArrayModule` (or its name) explicitly, or set
 the ``REPRO_ARRAY_BACKEND`` environment variable; unset means numpy.
-Modules are resolved lazily and cached, so merely importing this file
-never imports cupy or torch.
+Modules are resolved lazily and cached (including failed imports, so a
+missing optional library is probed at most once), and merely importing
+this file never imports cupy or torch.
+
+Transfer accounting: :func:`ArrayModule.asarray` is the host→device
+entry point and :func:`ArrayModule.to_numpy` the device→host exit, so
+wrapping any module in :class:`CountingArrayModule` meters every
+transfer the kernels perform (:class:`TransferStats`).  Device-side
+dtype/array normalisation that must never count as a transfer goes
+through :func:`ArrayModule.ensure` instead.  Host constants (LUTs,
+constellation tables) are uploaded once per module through
+:class:`DeviceConstantCache`.
 
 This module lives under ``repro.utils`` so the kernel layers
 (:mod:`repro.flexcore`, :mod:`repro.modulation`) can import it without
@@ -27,6 +37,10 @@ the public runtime-facing name.
 from __future__ import annotations
 
 import os
+import weakref
+from dataclasses import dataclass
+
+import numpy as _host_np
 
 from repro.errors import ConfigurationError
 
@@ -51,14 +65,44 @@ class ArrayModule:
 
     # -- conversion ----------------------------------------------------
     def asarray(self, a, dtype=None):
+        """Bring ``a`` onto this module — the host→device entry point.
+
+        Transfer accounting (:class:`CountingArrayModule`) meters every
+        ``asarray`` of a host numpy array as an upload, so kernels call
+        it only at genuine host→device boundaries; for device-side
+        normalisation use :meth:`ensure`.
+        """
         raise NotImplementedError
 
     def astype(self, a, dtype):
         raise NotImplementedError
 
     def to_numpy(self, a):
-        """Return ``a`` as a host numpy array (no-op for numpy)."""
+        """Return ``a`` as a host numpy array (no-op for numpy).
+
+        The device→host exit point: transfer accounting meters every
+        call as one download.
+        """
         raise NotImplementedError
+
+    def ensure(self, a, dtype=None):
+        """Normalise an already-device value (dtype cast, scalar wrap).
+
+        Same semantics as :meth:`asarray` but *never* counted as a
+        transfer — kernels use it where the operand is known to live on
+        the module already (or is a scalar) and only its dtype/arrayness
+        needs normalising.
+        """
+        return self.asarray(a, dtype=dtype)
+
+    def transfer_stats(self) -> "TransferStats | None":
+        """Cumulative transfer counters, or ``None`` when not metered.
+
+        Only :class:`CountingArrayModule` meters transfers; plain
+        modules return ``None`` so callers can cheaply probe whether
+        accounting is on.
+        """
+        return None
 
 
 class NumpyArrayModule(ArrayModule):
@@ -291,12 +335,162 @@ class TorchArrayModule(ArrayModule):
         return self._torch.conj(a)
 
 
+@dataclass(frozen=True)
+class TransferStats:
+    """Point-in-time snapshot of host↔device transfer counters.
+
+    ``uploads``/``upload_bytes`` meter :meth:`ArrayModule.asarray` calls
+    that handed a host numpy array to the module; ``downloads``/
+    ``download_bytes`` meter :meth:`ArrayModule.to_numpy` calls.  Like
+    :class:`~repro.runtime.cache.CacheStats`, snapshots subtract
+    (:meth:`since`) to give per-batch deltas, which is how the runtime
+    surfaces them in ``stats["transfers"]``.
+    """
+
+    uploads: int = 0
+    upload_bytes: int = 0
+    downloads: int = 0
+    download_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "uploads": self.uploads,
+            "upload_bytes": self.upload_bytes,
+            "downloads": self.downloads,
+            "download_bytes": self.download_bytes,
+        }
+
+    def since(self, before: "TransferStats") -> "TransferStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return TransferStats(
+            uploads=self.uploads - before.uploads,
+            upload_bytes=self.upload_bytes - before.upload_bytes,
+            downloads=self.downloads - before.downloads,
+            download_bytes=self.download_bytes - before.download_bytes,
+        )
+
+    def plus(self, delta: "TransferStats") -> "TransferStats":
+        """Accumulate a delta (used by the per-cell streaming stats)."""
+        return TransferStats(
+            uploads=self.uploads + delta.uploads,
+            upload_bytes=self.upload_bytes + delta.upload_bytes,
+            downloads=self.downloads + delta.downloads,
+            download_bytes=self.download_bytes + delta.download_bytes,
+        )
+
+
+class CountingArrayModule(ArrayModule):
+    """Transfer-metering wrapper usable over any array module.
+
+    Every :meth:`asarray` whose operand is a host numpy array counts as
+    one upload of ``nbytes``; every :meth:`to_numpy` counts as one
+    download.  :meth:`ensure` and all other operations delegate to the
+    wrapped module uncounted, so kernels written with the
+    asarray-at-the-boundary discipline are metered exactly at their
+    host↔device crossings — including under the numpy module, where the
+    wrapper acts as the *fake device* the residency tests pin their
+    zero-warm-upload claim on.
+    """
+
+    def __init__(self, inner: "str | ArrayModule | None" = None):
+        inner = resolve_array_module(inner)
+        self.inner = inner
+        self.name = f"counting[{inner.name}]"
+        self.uploads = 0
+        self.upload_bytes = 0
+        self.downloads = 0
+        self.download_bytes = 0
+
+    def __getattr__(self, attr):
+        # dtypes, creation, manipulation and math all pass through; only
+        # the conversion boundary (defined on the base class, so never
+        # reached here) is intercepted.
+        return getattr(self.inner, attr)
+
+    # -- conversion (the metered boundary) -----------------------------
+    def asarray(self, a, dtype=None):
+        if isinstance(a, _host_np.ndarray):
+            self.uploads += 1
+            self.upload_bytes += int(a.nbytes)
+        return self.inner.asarray(a, dtype=dtype)
+
+    def astype(self, a, dtype):
+        return self.inner.astype(a, dtype)
+
+    def to_numpy(self, a):
+        out = self.inner.to_numpy(a)
+        self.downloads += 1
+        self.download_bytes += int(_host_np.asarray(out).nbytes)
+        return out
+
+    def ensure(self, a, dtype=None):
+        return self.inner.ensure(a, dtype=dtype)
+
+    # -- accounting ----------------------------------------------------
+    def transfer_stats(self) -> TransferStats:
+        return TransferStats(
+            uploads=self.uploads,
+            upload_bytes=self.upload_bytes,
+            downloads=self.downloads,
+            download_bytes=self.download_bytes,
+        )
+
+    def reset_transfer_stats(self) -> None:
+        self.uploads = 0
+        self.upload_bytes = 0
+        self.downloads = 0
+        self.download_bytes = 0
+
+
+class DeviceConstantCache:
+    """Per-module device copies of immutable host constants.
+
+    Owners of offline tables (the triangle LUT, constellation points,
+    Gray tables, bit tables) keep one of these next to the host array
+    and fetch the device copy with :meth:`get` — the upload happens on
+    the first call per array module and never again, which is what makes
+    the kernels' warm path free of constant re-uploads.  Modules are
+    held weakly, so a discarded wrapper releases its device copies.
+    """
+
+    def __init__(self):
+        self._per_module: "weakref.WeakKeyDictionary[ArrayModule, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def __reduce__(self):
+        # Owners (detectors, LUTs) are pickled to process-pool workers;
+        # device copies are per-process state, so the cache travels
+        # empty and re-uploads lazily on the other side.
+        return (DeviceConstantCache, ())
+
+    def get(self, xp: ArrayModule, host):
+        """The device copy of ``host`` on ``xp`` (uploaded at most once).
+
+        ``host`` must be an immutable array owned by the same object
+        that owns this cache (entries are keyed by identity, valid for
+        the owner's lifetime).
+        """
+        per = self._per_module.get(xp)
+        if per is None:
+            per = {}
+            self._per_module[xp] = per
+        device = per.get(id(host))
+        if device is None:
+            device = xp.asarray(host)
+            per[id(host)] = device
+        return device
+
+
 _FACTORIES = {
     "numpy": NumpyArrayModule,
     "cupy": CupyArrayModule,
     "torch": TorchArrayModule,
 }
 _MODULES: dict[str, ArrayModule] = {}
+#: Names whose import already failed once — resolved straight to the
+#: cached error instead of re-attempting the (slow) missing import.
+_IMPORT_ERRORS: dict[str, str] = {}
 
 
 def resolve_array_module(spec=None) -> ArrayModule:
@@ -319,6 +513,9 @@ def resolve_array_module(spec=None) -> ArrayModule:
     module = _MODULES.get(name)
     if module is not None:
         return module
+    failure = _IMPORT_ERRORS.get(name)
+    if failure is not None:
+        raise ConfigurationError(failure)
     try:
         factory = _FACTORIES[name]
     except KeyError:
@@ -329,10 +526,16 @@ def resolve_array_module(spec=None) -> ArrayModule:
     try:
         module = factory()
     except ImportError as error:
-        raise ConfigurationError(
+        message = (
             f"array module {name!r} is not importable here ({error}); "
             f"install it or unset {ARRAY_BACKEND_ENV}"
-        ) from None
+        )
+        # Negative cache: probing a missing optional library is slow
+        # (a full failed import), and available_array_modules() probes
+        # every registered name — remember the failure so each library
+        # is attempted at most once per process.
+        _IMPORT_ERRORS[name] = message
+        raise ConfigurationError(message) from None
     _MODULES[name] = module
     return module
 
