@@ -196,9 +196,67 @@ def test_array_backend_speedup_over_serial(workload):
     )
 
 
+def test_cold_prepare_batched_vs_serial(workload):
+    """The batched cold path acceptance bar: ``prepare_many`` (stacked
+    QR → stacked error model → lockstep tree search) must beat the
+    per-channel ``prepare`` loop by at least 2x on one coherence block
+    (floor; target ~4x).  This is the §3.1.1 frontier batching applied
+    across the whole coherence block — what keeps cache *misses* cheap
+    once mobility scenarios make them the common case.
+    """
+    system, channels, received, noise_var = workload
+    detector = build_stack(reference_config()).detector
+
+    serial_s = float("inf")
+    block_s = float("inf")
+    serial_contexts = block_contexts = None
+    for _ in range(3):
+        start = time.perf_counter()
+        serial_contexts = [
+            detector.prepare(channels[c], noise_var)
+            for c in range(NUM_SUBCARRIERS)
+        ]
+        serial_s = min(serial_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        block_contexts = detector.prepare_many(channels, noise_var)
+        block_s = min(block_s, time.perf_counter() - start)
+
+    # The speedup only counts if the block path is bit-identical.
+    for a, b in zip(serial_contexts, block_contexts):
+        assert np.array_equal(
+            a.preprocessing.position_vectors, b.preprocessing.position_vectors
+        )
+        assert np.array_equal(
+            a.preprocessing.probabilities, b.preprocessing.probabilities
+        )
+        assert (
+            a.preprocessing.real_multiplications
+            == b.preprocessing.real_multiplications
+        )
+
+    speedup = serial_s / block_s
+    print(
+        f"\nper-channel prepare {serial_s * 1e3:.1f} ms, batched "
+        f"{block_s * 1e3:.1f} ms, cold-prepare speedup {speedup:.1f}x"
+    )
+    record_bench(
+        "cold_prepare_batched_vs_serial",
+        {
+            "backend": "prepare",
+            "serial_s": serial_s,
+            "batched_s": block_s,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 2.0, (
+        f"batched prepare only {speedup:.2f}x over the per-channel loop"
+    )
+
+
 def test_array_backend_cold_prepare_not_slower(workload):
-    """Cold-cache path: one stacked QR per block must not lose to the
-    per-channel prepare loop (guards the batched-prepare plumbing)."""
+    """Cold-cache path: every backend now rides the batched prepare, so
+    the array walk's advantage must survive on cold blocks too (the
+    floor ratchets up from 1.0 pre-batching to 1.5)."""
     system, channels, received, noise_var = workload
     serial = build_stack(reference_config("serial"))
     array = build_stack(reference_config("array"))
@@ -229,8 +287,8 @@ def test_array_backend_cold_prepare_not_slower(workload):
             "speedup": speedup,
         },
     )
-    assert speedup >= 1.0, (
-        f"cold array path {speedup:.2f}x — slower than per-channel prepare"
+    assert speedup >= 1.5, (
+        f"cold array path only {speedup:.2f}x over the serial backend"
     )
 
 
@@ -291,22 +349,32 @@ def test_warm_path_uploads_zero_context_bytes(workload):
 
 
 def test_warm_cache_amortises_prepare(workload):
-    """Replaying a coherence block must skip every prepare."""
+    """Replaying a coherence block must skip every prepare.
+
+    The cache stats are the contract; the timing check is best-of-3 with
+    a small noise allowance because the batched cold path shrank the
+    prepare share of a cold block from ~1/3 to a few percent — warm and
+    cold wall times are close by design now.
+    """
     system, channels, received, noise_var = workload
     engine = build_stack(reference_config())
-    cold_start = time.perf_counter()
-    engine.detect_batch(channels, received, noise_var)
-    cold_s = time.perf_counter() - cold_start
-    warm_start = time.perf_counter()
-    warm = engine.detect_batch(channels, received, noise_var)
-    warm_s = time.perf_counter() - warm_start
+    cold_s = float("inf")
+    warm_s = float("inf")
+    for _ in range(3):
+        engine.clear_cache()
+        start = time.perf_counter()
+        engine.detect_batch(channels, received, noise_var)
+        cold_s = min(cold_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = engine.detect_batch(channels, received, noise_var)
+        warm_s = min(warm_s, time.perf_counter() - start)
     assert warm.stats["cache"].misses == 0
     assert warm.stats["cache"].hits == NUM_SUBCARRIERS
     print(
         f"\ncold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms "
         f"({cold_s / warm_s:.1f}x)"
     )
-    assert warm_s < cold_s
+    assert warm_s < cold_s * 1.05
 
 
 def test_bench_engine_batch(benchmark, workload):

@@ -20,7 +20,11 @@ many processing elements as the channel requires.
 from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
 from repro.flexcore.detector import FlexCoreDetector
 from repro.flexcore.ordering import TriangleOrdering
-from repro.flexcore.preprocessing import PreprocessingResult, find_promising_paths
+from repro.flexcore.preprocessing import (
+    PreprocessingResult,
+    find_promising_paths,
+    find_promising_paths_block,
+)
 from repro.flexcore.probability import LevelErrorModel
 from repro.flexcore.soft import SoftDetectionResult, SoftFlexCoreDetector
 
@@ -33,4 +37,5 @@ __all__ = [
     "SoftFlexCoreDetector",
     "TriangleOrdering",
     "find_promising_paths",
+    "find_promising_paths_block",
 ]

@@ -45,12 +45,10 @@ class AdaptiveFlexCoreDetector(FlexCoreDetector):
             )
         self.probability_target = float(probability_target)
 
-    def _context_from_qr(
-        self, qr, noise_var: float, counter: FlopCounter
-    ) -> FlexCoreContext:
+    def _finalize_context(self, qr, preprocessing) -> FlexCoreContext:
         # Hooking the shared context builder keeps the single-channel
         # ``prepare`` and the stacked ``prepare_many`` paths in lockstep.
-        context = super()._context_from_qr(qr, noise_var, counter)
+        context = super()._finalize_context(qr, preprocessing)
         cumulative = np.cumsum(context.preprocessing.probabilities)
         covered = np.searchsorted(cumulative, self.probability_target) + 1
         context.active_paths = int(

@@ -36,7 +36,11 @@ import numpy as np
 from repro.detectors.base import DetectionResult, Detector
 from repro.errors import ConfigurationError, DimensionError
 from repro.flexcore.ordering import TriangleOrdering
-from repro.flexcore.preprocessing import PreprocessingResult, find_promising_paths
+from repro.flexcore.preprocessing import (
+    PreprocessingResult,
+    find_promising_paths,
+    find_promising_paths_block,
+)
 from repro.mimo.qr import (
     QrDecomposition,
     fcsd_sorted_qr,
@@ -146,14 +150,16 @@ class FlexCoreDetector(Detector):
         noise_var: float,
         counter: FlopCounter = NULL_COUNTER,
     ) -> list[FlexCoreContext]:
-        """Prepare a ``(C, Nr, Nt)`` block with one stacked QR factorisation.
+        """Prepare a ``(C, Nr, Nt)`` block with no per-channel Python.
 
         The QR of every channel runs in a single stacked call
-        (:func:`~repro.mimo.qr.stacked_sorted_qr` and friends) — the
-        batched cache-miss path of the runtime; the error-model /
-        position-vector search stays per channel (it is a data-dependent
-        tree search).  Contexts and charged FLOPs are identical to
-        calling :meth:`prepare` once per channel.
+        (:func:`~repro.mimo.qr.stacked_sorted_qr` and friends), the
+        stacked R-diagonals feed one vectorised error-model evaluation,
+        and the ``C`` best-first tree searches run in lockstep
+        (:func:`~repro.flexcore.preprocessing.find_promising_paths_block`)
+        — the batched cache-miss path of the runtime, end to end.
+        Contexts and charged FLOPs are bit-identical to calling
+        :meth:`prepare` once per channel.
         """
         channels = np.asarray(channels)
         if channels.ndim != 3:
@@ -171,7 +177,7 @@ class FlexCoreDetector(Detector):
             )
         else:
             qrs = stacked_plain_qr(channels, counter=counter)
-        return [self._context_from_qr(qr, noise_var, counter) for qr in qrs]
+        return self._contexts_from_qrs(qrs, noise_var, counter)
 
     def _context_from_qr(
         self,
@@ -179,9 +185,8 @@ class FlexCoreDetector(Detector):
         noise_var: float,
         counter: FlopCounter,
     ) -> FlexCoreContext:
-        """Per-channel tail of ``prepare``: error model, path search,
-        context assembly.  Subclasses hook here (a-FlexCore trims
-        ``active_paths``) so the single and stacked prepare paths agree."""
+        """Single-channel tail of ``prepare``: error model, path search,
+        context assembly."""
         model = LevelErrorModel.from_channel(
             qr.r, noise_var, self.system.constellation, formula=self.pe_formula
         )
@@ -193,6 +198,56 @@ class FlexCoreDetector(Detector):
             batch_size=self.batch_expansion,
             counter=counter,
         )
+        return self._finalize_context(qr, preprocessing)
+
+    def _contexts_from_qrs(
+        self,
+        qrs: "list[QrDecomposition]",
+        noise_var: float,
+        counter: FlopCounter,
+    ) -> list[FlexCoreContext]:
+        """Block tail of ``prepare_many``: stacked error model, lockstep
+        path search, per-channel context assembly.
+
+        The stacked QR's R-diagonals feed one vectorised
+        :meth:`LevelErrorModel.from_channels` call and the ``C``
+        tree searches run as a single
+        :func:`~repro.flexcore.preprocessing.find_promising_paths_block`
+        — no per-channel Python on the miss path.  Contexts and charged
+        FLOPs are bit-identical to :meth:`_context_from_qr` per channel;
+        subclasses customise both paths through
+        :meth:`_finalize_context` (a-FlexCore trims ``active_paths``).
+        """
+        if not qrs:
+            return []
+        models = LevelErrorModel.from_channels(
+            np.stack([np.diagonal(qr.r) for qr in qrs]),
+            noise_var,
+            self.system.constellation,
+            formula=self.pe_formula,
+        )
+        block = find_promising_paths_block(
+            models,
+            num_paths=self.num_paths,
+            max_rank=self.system.constellation.order,
+            stop_threshold=self.stop_threshold,
+            batch_size=self.batch_expansion,
+            counter=counter,
+        )
+        return [
+            self._finalize_context(qr, preprocessing)
+            for qr, preprocessing in zip(qrs, block)
+        ]
+
+    def _finalize_context(
+        self, qr: QrDecomposition, preprocessing: PreprocessingResult
+    ) -> FlexCoreContext:
+        """Assemble one context from a QR and its search result.
+
+        The shared hook of the single and stacked prepare paths:
+        subclasses overriding it (a-FlexCore trims ``active_paths``)
+        stay in lockstep across both automatically.
+        """
         diag = np.real(np.diagonal(qr.r)).copy()
         return FlexCoreContext(
             qr=qr,

@@ -24,6 +24,13 @@ returns identical results; we keep the heap and report the peak ``|L|``.
 A *parallel expansion* mode (``batch_size > 1``) expands the ``B`` best
 frontier nodes per round, modelling the parallel pre-processing variant
 whose loss §3.1.1 reports as negligible for ``N_PE / B >= 10``.
+
+:func:`find_promising_paths_block` runs ``C`` independent searches — one
+per channel of a coherence block — in lockstep on structure-of-arrays
+frontiers, replacing the per-channel ``heapq`` loop with one vectorised
+child-probability update per round.  It is bit- and FLOP-identical to
+calling :func:`find_promising_paths` once per channel; see its docstring
+for why.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DimensionError
 from repro.flexcore.probability import LevelErrorModel
 from repro.utils.flops import NULL_COUNTER, FlopCounter
 
@@ -158,6 +165,239 @@ def find_promising_paths(
         candidate_peak=candidate_peak,
         stopped_early=stopped_early,
     )
+
+
+def find_promising_paths_block(
+    models,
+    num_paths: int,
+    max_rank: int,
+    stop_threshold=None,
+    batch_size: int = 1,
+    counter: FlopCounter = NULL_COUNTER,
+) -> list[PreprocessingResult]:
+    """``C`` best-first searches in lockstep — the batched cold path.
+
+    Parameters
+    ----------
+    models:
+        A sequence of :class:`~repro.flexcore.probability.LevelErrorModel`
+        (one per channel) or a stacked ``(C, Nt)`` ``Pe`` array.
+    num_paths, max_rank, batch_size:
+        As :func:`find_promising_paths`; shared by every channel.
+    stop_threshold:
+        ``None``, a scalar shared by all channels, or a length-``C``
+        sequence of per-channel thresholds (``nan`` entries disable the
+        criterion for that channel).
+
+    Returns one :class:`PreprocessingResult` per channel, **bit- and
+    FLOP-identical** to ``[find_promising_paths(m, ...) for m in models]``
+    (same expansion order, tie-break serials, ``real_multiplications``
+    and ``candidate_peak``).  Identity holds because the serial search is
+    round-structured already: each round pops the ``round_size`` smallest
+    ``(-Pc, serial)`` keys *before* pushing any child, and children are
+    assigned serials in (popped-node, level) order.  The block search
+    stores every channel's frontier as flat arrays that only ever append
+    — slot order therefore *is* serial order — so a stable argsort (or a
+    first-occurrence argmin when one node is expanded per round)
+    reproduces the heap's pop sequence exactly, and the single fused
+    ``parent-Pc x Pe(w)`` multiply per round performs the same IEEE
+    operations as the per-child multiplies it replaces.  Channels stop
+    independently (path count reached, frontier exhausted, or their
+    stopping threshold crossed) and simply sit out later rounds.
+    """
+    if num_paths <= 0:
+        raise ConfigurationError("num_paths must be positive")
+    if max_rank <= 0:
+        raise ConfigurationError("max_rank must be positive")
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    if isinstance(models, np.ndarray):
+        pe_block = np.asarray(models, dtype=np.float64)
+    else:
+        models = list(models)
+        if not models:
+            return []
+        pe_block = np.stack(
+            [np.asarray(model.pe, dtype=np.float64) for model in models]
+        )
+    if pe_block.ndim != 2:
+        raise DimensionError(
+            f"find_promising_paths_block wants (C, Nt) error "
+            f"probabilities, got {pe_block.shape}"
+        )
+    num_channels, num_levels = pe_block.shape
+    if num_channels == 0:
+        return []
+    if num_paths > max_rank**num_levels:
+        num_paths = int(max_rank**num_levels)
+    thresholds = _as_thresholds(stop_threshold, num_channels)
+
+    # Structure-of-arrays frontiers.  Slots are append-only: a popped
+    # node's key is overwritten with +inf (consumed) but its position
+    # row survives for result extraction, and new children always land
+    # past ``count`` — which is what keeps slot order == serial order.
+    capacity = min(1 + num_paths * num_levels, 1 + 32 * num_levels)
+    keys = np.full((num_channels, capacity), np.inf)
+    positions = np.zeros((num_channels, capacity, num_levels), dtype=np.int64)
+    last_w = np.zeros((num_channels, capacity), dtype=np.int64)
+
+    positions[:, 0, :] = 1
+    keys[:, 0] = -np.prod(1.0 - pe_block, axis=1)
+    last_w[:, 0] = num_levels - 1
+    counter.add_real_mults(num_channels * (num_levels - 1))
+
+    count = np.ones(num_channels, dtype=np.int64)  # slots used (pushes)
+    live = np.ones(num_channels, dtype=np.int64)  # frontier size
+    selected_slots = np.zeros((num_channels, num_paths), dtype=np.int64)
+    selected_probs = np.zeros((num_channels, num_paths))
+    selected_count = np.zeros(num_channels, dtype=np.int64)
+    cumulative = np.zeros(num_channels)
+    mults = np.full(num_channels, num_levels - 1, dtype=np.int64)
+    peak = np.ones(num_channels, dtype=np.int64)
+    stopped_early = np.zeros(num_channels, dtype=bool)
+    done = np.zeros(num_channels, dtype=bool)
+    rows = np.arange(num_channels)[:, None]
+    w_range = np.arange(num_levels)
+
+    while True:
+        round_size = np.minimum(
+            np.minimum(batch_size, num_paths - selected_count), live
+        )
+        round_size[done] = 0
+        width = int(round_size.max())
+        if width == 0:
+            break
+        in_round = np.arange(width)[None, :] < round_size[:, None]
+
+        # Pop: the ``round_size`` smallest (-Pc, serial) keys per
+        # channel.  Ties break to the lowest slot == lowest serial;
+        # argmin's first-occurrence rule and a stable argsort both
+        # reproduce the heap's tie-break exactly.
+        sortable = keys[:, : int(count.max())]
+        if width == 1:
+            popped = np.argmin(sortable, axis=1)[:, None]
+        else:
+            popped = np.argsort(sortable, axis=1, kind="stable")[:, :width]
+        popped_keys = keys[rows, popped]
+        probabilities = np.where(in_round, -popped_keys, 0.0)
+        keys[rows, popped] = np.where(in_round, np.inf, popped_keys)
+        live -= round_size
+
+        # Select, preserving pop order (and summing the cumulative mass
+        # one pop at a time, so threshold crossings are float-exact).
+        channel_index, batch_index = np.nonzero(in_round)
+        out_index = selected_count[channel_index] + batch_index
+        selected_slots[channel_index, out_index] = popped[
+            channel_index, batch_index
+        ]
+        selected_probs[channel_index, out_index] = probabilities[
+            channel_index, batch_index
+        ]
+        selected_count += round_size
+        for b in range(width):
+            cumulative = np.where(
+                in_round[:, b], cumulative + probabilities[:, b], cumulative
+            )
+
+        # Expand: one vectorised child-probability update for the whole
+        # round's (C, B, Nt) children, then a masked scatter appending
+        # the valid ones in (popped-node, level) order — the serial
+        # assignment rule.
+        parent_pos = positions[rows, popped]  # (C, B, Nt)
+        parent_last = last_w[rows, popped]  # (C, B)
+        valid = (
+            in_round[:, :, None]
+            & (w_range[None, None, :] <= parent_last[:, :, None])
+            & (parent_pos < max_rank)
+        )
+        child_probs = probabilities[:, :, None] * pe_block[:, None, :]
+        valid_flat = valid.reshape(num_channels, -1)
+        pushes = valid_flat.sum(axis=1)
+        needed = int((count + pushes).max())
+        if needed > capacity:
+            grow = max(needed, 2 * capacity)
+            keys = np.concatenate(
+                [keys, np.full((num_channels, grow - capacity), np.inf)],
+                axis=1,
+            )
+            positions = np.concatenate(
+                [
+                    positions,
+                    np.zeros(
+                        (num_channels, grow - capacity, num_levels),
+                        dtype=np.int64,
+                    ),
+                ],
+                axis=1,
+            )
+            last_w = np.concatenate(
+                [
+                    last_w,
+                    np.zeros((num_channels, grow - capacity), dtype=np.int64),
+                ],
+                axis=1,
+            )
+            capacity = grow
+        slot = count[:, None] + np.cumsum(valid_flat, axis=1) - 1
+        channel_index, flat_index = np.nonzero(valid_flat)
+        batch_index = flat_index // num_levels
+        level_index = flat_index % num_levels
+        dest = slot[channel_index, flat_index]
+        keys[channel_index, dest] = -child_probs[
+            channel_index, batch_index, level_index
+        ]
+        positions[channel_index, dest] = parent_pos[
+            channel_index, batch_index
+        ]
+        positions[channel_index, dest, level_index] += 1
+        last_w[channel_index, dest] = level_index
+        count += pushes
+        live += pushes
+        mults += pushes
+        counter.add_real_mults(int(pushes.sum()))
+        peak = np.maximum(peak, live)
+
+        # Per-channel stopping criterion, checked once per round like
+        # the serial loop (so a channel crossing the threshold on its
+        # final round still reports ``stopped_early``).
+        if thresholds is not None:
+            fired = (
+                (round_size > 0)
+                & ~np.isnan(thresholds)
+                & (cumulative >= thresholds)
+            )
+            stopped_early |= fired
+            done |= fired
+
+    results = []
+    for c in range(num_channels):
+        n = int(selected_count[c])
+        results.append(
+            PreprocessingResult(
+                position_vectors=positions[c, selected_slots[c, :n]],
+                probabilities=selected_probs[c, :n].copy(),
+                expanded_nodes=n,
+                real_multiplications=int(mults[c]),
+                candidate_peak=int(peak[c]),
+                stopped_early=bool(stopped_early[c]),
+            )
+        )
+    return results
+
+
+def _as_thresholds(stop_threshold, num_channels: int) -> "np.ndarray | None":
+    """Normalise the stopping criterion to ``None`` or a ``(C,)`` array."""
+    if stop_threshold is None:
+        return None
+    thresholds = np.asarray(stop_threshold, dtype=np.float64)
+    if thresholds.ndim == 0:
+        return np.full(num_channels, float(thresholds))
+    if thresholds.shape != (num_channels,):
+        raise DimensionError(
+            f"stop_threshold must be scalar or length {num_channels}, got "
+            f"shape {thresholds.shape}"
+        )
+    return thresholds
 
 
 def brute_force_top_paths(

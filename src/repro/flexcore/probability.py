@@ -32,6 +32,7 @@ matches Monte-Carlo rank statistics closely at both low and high SNR.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,6 +44,37 @@ from repro.modulation.constellation import QamConstellation
 #: Numerical floor/ceiling keeping the geometric model well defined.
 _PE_MIN = 1e-300
 _PE_MAX = 1.0 - 1e-12
+
+#: Constellation-derived constants of the ``Pe`` formulas, memoized per
+#: ``(constellation, formula)`` the way
+#: :class:`~repro.utils.xp.DeviceConstantCache` memoizes device tables —
+#: repeated cache misses stop re-deriving them.  Constellations are held
+#: weakly, so a discarded one releases its entry.
+_PE_CONSTANT_CACHE: "weakref.WeakKeyDictionary[QamConstellation, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _pe_constants(
+    constellation: QamConstellation, formula: str
+) -> tuple[float, ...]:
+    """``(prefactor, half_distance)`` for ``"corrected"``; ``(prefactor,)``
+    for ``"paper"``.  Derived once per (constellation, formula)."""
+    per_formula = _PE_CONSTANT_CACHE.get(constellation)
+    if per_formula is None:
+        per_formula = {}
+        _PE_CONSTANT_CACHE[constellation] = per_formula
+    entry = per_formula.get(formula)
+    if entry is None:
+        if formula == "corrected":
+            entry = (
+                1.0 - 1.0 / constellation.side,
+                constellation.min_distance / 2.0,
+            )
+        else:
+            entry = (2.0 + 2.0 / np.sqrt(constellation.order),)
+        per_formula[formula] = entry
+    return entry
 
 
 def pe_corrected(
@@ -58,11 +90,11 @@ def pe_corrected(
     if noise_var <= 0:
         raise ConfigurationError("noise variance must be positive")
     r_diag_abs = np.abs(np.asarray(r_diag_abs, dtype=np.float64))
-    half_distance = constellation.min_distance / 2.0
+    prefactor, half_distance = _pe_constants(constellation, "corrected")
     argument = (
         r_diag_abs * half_distance * np.sqrt(symbol_energy) / np.sqrt(noise_var)
     )
-    p_axis = (1.0 - 1.0 / constellation.side) * erfc(argument)
+    p_axis = prefactor * erfc(argument)
     pe = 1.0 - (1.0 - p_axis) ** 2
     return np.clip(pe, _PE_MIN, _PE_MAX)
 
@@ -77,8 +109,9 @@ def pe_paper_literal(
     if noise_var <= 0:
         raise ConfigurationError("noise variance must be positive")
     r_diag_abs = np.abs(np.asarray(r_diag_abs, dtype=np.float64))
+    (prefactor,) = _pe_constants(constellation, "paper")
     argument = r_diag_abs * np.sqrt(symbol_energy) / np.sqrt(noise_var)
-    pe = (2.0 + 2.0 / np.sqrt(constellation.order)) * erfc(argument)
+    pe = prefactor * erfc(argument)
     return np.clip(pe, _PE_MIN, _PE_MAX)
 
 
@@ -122,6 +155,48 @@ class LevelErrorModel:
         else:
             raise ConfigurationError(f"unknown Pe formula {formula!r}")
         return cls(pe=np.asarray(pe, dtype=np.float64))
+
+    @classmethod
+    def from_channels(
+        cls,
+        r_stack: np.ndarray,
+        noise_var: float,
+        constellation: QamConstellation,
+        symbol_energy: float = 1.0,
+        formula: str = "corrected",
+    ) -> "list[LevelErrorModel]":
+        """One model per channel of a coherence block, vectorised.
+
+        ``r_stack`` is a ``(C, Nt, Nt)`` stack of upper-triangular ``R``
+        matrices or a ``(C, Nt)`` stack of their diagonals — the shape
+        the stacked QR factorisations hand over.  The per-level error
+        probabilities of the whole block are computed in **one**
+        elementwise call, so every returned model is bit-identical to
+        :meth:`from_channel` of the corresponding channel while the cold
+        path pays a single erfc evaluation instead of ``C``.
+        """
+        r_stack = np.asarray(r_stack)
+        if r_stack.ndim == 3:
+            diags = np.diagonal(r_stack, axis1=1, axis2=2)
+        elif r_stack.ndim == 2:
+            diags = r_stack
+        else:
+            raise DimensionError(
+                f"from_channels wants (C, Nt, Nt) R matrices or (C, Nt) "
+                f"diagonals, got {r_stack.shape}"
+            )
+        if formula == "corrected":
+            pe = pe_corrected(
+                np.abs(diags), noise_var, constellation, symbol_energy
+            )
+        elif formula == "paper":
+            pe = pe_paper_literal(
+                np.abs(diags), noise_var, constellation, symbol_energy
+            )
+        else:
+            raise ConfigurationError(f"unknown Pe formula {formula!r}")
+        pe = np.ascontiguousarray(pe, dtype=np.float64)
+        return [cls(pe=pe[c]) for c in range(pe.shape[0])]
 
     @property
     def num_levels(self) -> int:

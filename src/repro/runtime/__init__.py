@@ -41,7 +41,12 @@ from repro.runtime.batch import (
     RuntimeStats,
     UplinkBatch,
 )
-from repro.runtime.cache import CacheStats, ContextCache, context_key
+from repro.runtime.cache import (
+    CacheStats,
+    ContextCache,
+    block_context_keys,
+    context_key,
+)
 from repro.runtime.cells import (
     Cell,
     CellFarm,
@@ -100,6 +105,7 @@ __all__ = [
     "available_array_modules",
     "available_backends",
     "clamp_context_paths",
+    "block_context_keys",
     "context_key",
     "make_backend",
     "merge_scheduler_summaries",

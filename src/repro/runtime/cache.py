@@ -87,6 +87,38 @@ def context_key(channel: np.ndarray, noise_var: float) -> bytes:
     return digest.digest()
 
 
+def block_context_keys(
+    channels: np.ndarray, noise_var: float
+) -> list[bytes]:
+    """Per-subcarrier context keys for a ``(S, Nr, Nt)`` channel block.
+
+    Byte-identical to ``[context_key(channels[sc], noise_var) for sc in
+    ...]`` — contexts cached under one spelling are found under the
+    other — but the shared shape/noise digest prefix is hashed once and
+    the per-slice ``ascontiguousarray`` copy is skipped entirely when
+    the block is already contiguous (slices of a C-contiguous block are
+    C-contiguous; one whole-block copy covers the rest).
+    """
+    channels = np.asarray(channels)
+    if channels.ndim != 3:
+        raise ConfigurationError(
+            f"block_context_keys wants a (S, Nr, Nt) block, got "
+            f"{channels.shape}"
+        )
+    if not channels.flags["C_CONTIGUOUS"]:
+        channels = np.ascontiguousarray(channels)
+    prefix = (
+        str(channels.shape[1:]).encode() + np.float64(noise_var).tobytes()
+    )
+    keys = []
+    for sc in range(channels.shape[0]):
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(prefix)
+        digest.update(channels[sc].tobytes())
+        keys.append(digest.digest())
+    return keys
+
+
 class ContextCache:
     """LRU cache of prepared channel contexts.
 
@@ -160,10 +192,7 @@ class ContextCache:
         calling :meth:`get_or_prepare` once per subcarrier.
         """
         channels = np.asarray(channels)
-        keys = [
-            context_key(channels[sc], noise_var)
-            for sc in range(channels.shape[0])
-        ]
+        keys = block_context_keys(channels, noise_var)
         fresh_slots: "OrderedDict[bytes, int]" = OrderedDict()
         for sc, key in enumerate(keys):
             if key not in self._entries and key not in fresh_slots:

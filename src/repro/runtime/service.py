@@ -279,20 +279,23 @@ class DetectionService:
     ) -> "tuple[list | None, CacheStats]":
         """Contexts for every subcarrier via the caller's cache.
 
+        Cache misses for the whole batch are deduplicated and prepared
+        in one ``prepare_many`` call
+        (:meth:`~repro.runtime.cache.ContextCache.get_or_prepare_block`)
+        — every backend's miss path rides the batched cold path, with
+        hit/miss bookkeeping identical to per-subcarrier lookups.
         Returns ``(contexts, delta)`` where ``delta`` is the batch-local
         :class:`~repro.runtime.cache.CacheStats` movement; ``contexts``
         is ``None`` when caching is disabled, in which case detection
-        prepares inline (one un-deduplicated ``prepare`` per subcarrier).
+        prepares inline (one un-deduplicated ``prepare`` per subcarrier
+        — the honest naive baseline).
         """
         if cache is None:
             return None, CacheStats(misses=batch.num_subcarriers)
         before = cache.stats
-        contexts = [
-            cache.get_or_prepare(
-                detector, batch.channels[sc], batch.noise_var, counter=counter
-            )
-            for sc in range(batch.num_subcarriers)
-        ]
+        contexts = cache.get_or_prepare_block(
+            detector, batch.channels, batch.noise_var, counter=counter
+        )
         return contexts, cache.stats.since(before)
 
     @staticmethod

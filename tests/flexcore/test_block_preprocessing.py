@@ -1,0 +1,189 @@
+"""Block ≡ per-channel equivalence for the batched pre-processing search.
+
+``find_promising_paths_block`` promises **bit- and FLOP-identity** with
+``find_promising_paths`` run once per channel: same position vectors in
+the same expansion order, the same probabilities (exact float equality —
+the block path performs the same IEEE operations), and the same
+``real_multiplications`` / ``candidate_peak`` / ``stopped_early``
+accounting.  This module pins that promise across a hypothesis grid of
+random ``Pe`` vectors, QAM orders, stopping thresholds, expansion batch
+sizes, and ragged per-channel early stops.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.flexcore.preprocessing import (
+    find_promising_paths,
+    find_promising_paths_block,
+)
+from repro.flexcore.probability import LevelErrorModel
+from repro.utils.flops import FlopCounter
+
+
+def assert_results_identical(serial, block):
+    """The full bit- and FLOP-identity contract, field by field."""
+    assert np.array_equal(serial.position_vectors, block.position_vectors)
+    assert serial.position_vectors.dtype == block.position_vectors.dtype
+    # Exact equality, not approx: identical IEEE operations.
+    assert np.array_equal(serial.probabilities, block.probabilities)
+    assert serial.expanded_nodes == block.expanded_nodes
+    assert serial.real_multiplications == block.real_multiplications
+    assert serial.candidate_peak == block.candidate_peak
+    assert serial.stopped_early == block.stopped_early
+
+
+def run_both(pe_block, num_paths, max_rank, stop_threshold, batch_size):
+    """(serial results, block results, serial FLOPs, block FLOPs)."""
+    serial_counter, block_counter = FlopCounter(), FlopCounter()
+    per_channel = [
+        find_promising_paths(
+            LevelErrorModel(pe=pe_block[c]),
+            num_paths,
+            max_rank,
+            stop_threshold=(
+                stop_threshold[c]
+                if isinstance(stop_threshold, (list, np.ndarray))
+                else stop_threshold
+            ),
+            batch_size=batch_size,
+            counter=serial_counter,
+        )
+        for c in range(pe_block.shape[0])
+    ]
+    block = find_promising_paths_block(
+        pe_block,
+        num_paths,
+        max_rank,
+        stop_threshold=(
+            np.asarray(stop_threshold, dtype=np.float64)
+            if isinstance(stop_threshold, (list, np.ndarray))
+            else stop_threshold
+        ),
+        batch_size=batch_size,
+        counter=block_counter,
+    )
+    return per_channel, block, serial_counter, block_counter
+
+
+class TestHypothesisGrid:
+    @given(
+        pe_rows=st.lists(
+            st.lists(st.floats(0.01, 0.6), min_size=3, max_size=3),
+            min_size=1,
+            max_size=6,
+        ),
+        num_paths=st.integers(1, 40),
+        max_rank=st.sampled_from([2, 4, 8]),  # QPSK / 16-QAM / 64-QAM
+        batch_size=st.integers(1, 8),
+        threshold=st.one_of(st.none(), st.floats(0.2, 1.0)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_block_matches_per_channel(
+        self, pe_rows, num_paths, max_rank, batch_size, threshold
+    ):
+        pe_block = np.asarray(pe_rows, dtype=np.float64)
+        per_channel, block, serial_counter, block_counter = run_both(
+            pe_block, num_paths, max_rank, threshold, batch_size
+        )
+        assert len(block) == pe_block.shape[0]
+        for serial, batched in zip(per_channel, block):
+            assert_results_identical(serial, batched)
+        assert serial_counter.real_mults == block_counter.real_mults
+
+    @given(
+        seed=st.integers(0, 2**31),
+        num_levels=st.integers(2, 6),
+        num_channels=st.integers(1, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tied_probabilities_expand_in_the_same_order(
+        self, seed, num_levels, num_channels
+    ):
+        """Equal Pe across levels floods the search with exact Pc ties;
+        the serial tie-break must reproduce heapq's pop order exactly."""
+        rng = np.random.default_rng(seed)
+        pe_block = np.tile(
+            rng.uniform(0.05, 0.5, size=(num_channels, 1)), (1, num_levels)
+        )
+        per_channel, block, _, _ = run_both(pe_block, 30, 4, None, 1)
+        for serial, batched in zip(per_channel, block):
+            assert_results_identical(serial, batched)
+
+
+class TestRaggedStops:
+    def test_per_channel_thresholds_stop_channels_independently(self):
+        """Channels crossing their threshold at different rounds sit out
+        the remaining lockstep rounds without disturbing the others."""
+        pe_block = np.array(
+            [
+                [1e-6, 1e-6, 1e-6],  # root carries ~all mass: stops round 1
+                [0.05, 0.04, 0.03],  # stops after a few rounds
+                [0.45, 0.5, 0.4],  # never reaches 0.95: runs to num_paths
+            ]
+        )
+        thresholds = [0.95, 0.95, 0.95]
+        per_channel, block, _, _ = run_both(pe_block, 40, 8, thresholds, 1)
+        for serial, batched in zip(per_channel, block):
+            assert_results_identical(serial, batched)
+        assert [b.stopped_early for b in block] == [True, True, False]
+        assert block[0].expanded_nodes < block[2].expanded_nodes
+
+    def test_nan_threshold_entries_disable_the_criterion(self):
+        pe_block = np.full((2, 3), 1e-6)
+        thresholds = np.array([0.9, np.nan])
+        block = find_promising_paths_block(pe_block, 20, 8, thresholds)
+        assert block[0].stopped_early
+        assert not block[1].stopped_early
+        assert block[1].expanded_nodes == 20
+
+    def test_mixed_thresholds_with_batched_expansion(self):
+        rng = np.random.default_rng(7)
+        pe_block = rng.uniform(0.001, 0.4, size=(5, 4))
+        thresholds = [0.5, 0.8, np.nan, 0.99, 0.3]
+        per_channel, block, serial_counter, block_counter = run_both(
+            pe_block, 25, 4, thresholds, 3
+        )
+        for serial, batched in zip(per_channel, block):
+            assert_results_identical(serial, batched)
+        assert serial_counter.real_mults == block_counter.real_mults
+
+
+class TestInputs:
+    def test_accepts_models_and_pe_stack(self):
+        pe_block = np.array([[0.2, 0.3], [0.1, 0.4]])
+        models = [LevelErrorModel(pe=row) for row in pe_block]
+        from_models = find_promising_paths_block(models, 6, 4)
+        from_stack = find_promising_paths_block(pe_block, 6, 4)
+        for a, b in zip(from_models, from_stack):
+            assert_results_identical(a, b)
+
+    def test_empty_block(self):
+        assert find_promising_paths_block([], 8, 4) == []
+        assert find_promising_paths_block(np.empty((0, 3)), 8, 4) == []
+
+    def test_count_capped_by_tree_size(self):
+        block = find_promising_paths_block(np.array([[0.2, 0.3]]), 100, 3)
+        assert block[0].position_vectors.shape[0] == 9
+
+    def test_frontier_growth_past_initial_capacity(self):
+        """Wide trees force the append-only frontier to reallocate."""
+        pe_block = np.full((2, 8), 0.3)
+        per_channel, block, _, _ = run_both(pe_block, 300, 64, None, 1)
+        for serial, batched in zip(per_channel, block):
+            assert_results_identical(serial, batched)
+
+    def test_invalid_args(self):
+        pe_block = np.array([[0.1, 0.2]])
+        with pytest.raises(ConfigurationError):
+            find_promising_paths_block(pe_block, 0, 4)
+        with pytest.raises(ConfigurationError):
+            find_promising_paths_block(pe_block, 4, 0)
+        with pytest.raises(ConfigurationError):
+            find_promising_paths_block(pe_block, 4, 4, batch_size=0)
+        with pytest.raises(DimensionError):
+            find_promising_paths_block(np.zeros(3), 4, 4)
+        with pytest.raises(DimensionError):
+            find_promising_paths_block(pe_block, 4, 4, stop_threshold=[0.5, 0.5])

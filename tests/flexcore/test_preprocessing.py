@@ -138,3 +138,82 @@ class TestBruteForceGuard:
     def test_brute_force_size_guard(self):
         with pytest.raises(ConfigurationError):
             brute_force_top_paths(_model(np.full(12, 0.2)), 10, 64)
+
+
+class TestTieBreakOrdering:
+    """Pin how exact ``Pc`` ties are ordered.
+
+    ``brute_force_top_paths`` breaks ties by enumeration order (stable
+    argsort over the ``max_rank**Nt`` grid); ``find_promising_paths``
+    breaks them by generation serial (heap push order).  Those differ —
+    the one place the two may legitimately disagree is the *ordering of
+    vectors inside one tie group*, and therefore the membership of a
+    prefix that cuts mid-group.  At every prefix ending on a tie-group
+    boundary the selected path *sets* must agree exactly.
+    """
+
+    @pytest.mark.parametrize(
+        "pe_values, num_paths, max_rank",
+        [
+            ([0.3, 0.3, 0.3], 27, 3),  # all levels tie: maximal ties
+            ([0.25, 0.25], 16, 4),
+            ([0.4, 0.4, 0.1, 0.1], 40, 4),  # two tie families
+        ],
+    )
+    def test_path_sets_agree_at_tie_group_boundaries(
+        self, pe_values, num_paths, max_rank
+    ):
+        model = _model(pe_values)
+        tree = find_promising_paths(model, num_paths, max_rank)
+        # Over-fetch the reference so the boundary test can see whether
+        # the truncation at ``num_paths`` itself lands inside a tie
+        # group (in which case even the full prefix may legitimately
+        # differ — it is a mid-group cut).
+        brute = brute_force_top_paths(
+            model, min(2 * num_paths, max_rank ** model.num_levels), max_rank
+        )
+        n = tree.position_vectors.shape[0]
+        assert tree.probabilities == pytest.approx(
+            brute.probabilities[:n], rel=1e-9
+        )
+        # Prefix boundaries = indices where the probability strictly
+        # drops.  Ties are grouped with a relative tolerance: the tree
+        # search multiplies Pc factors in generation order while brute
+        # force multiplies in level order, so "equal" products differ by
+        # ULPs across the two implementations.
+        def drops(previous: float, following: float) -> bool:
+            return following < previous * (1.0 - 1e-9)
+
+        boundaries = [
+            k
+            for k in range(1, n + 1)
+            if (
+                drops(tree.probabilities[k - 1], tree.probabilities[k])
+                if k < n
+                else (
+                    brute.probabilities.size == n
+                    or drops(tree.probabilities[n - 1], brute.probabilities[n])
+                )
+            )
+        ]
+        assert boundaries, "expected at least the full-prefix boundary"
+        for k in boundaries:
+            tree_set = {tuple(v) for v in tree.position_vectors[:k]}
+            brute_set = {tuple(v) for v in brute.position_vectors[:k]}
+            assert tree_set == brute_set, f"prefix {k} diverged"
+
+    def test_mid_group_prefixes_may_reorder_but_stay_within_the_tie(self):
+        """Document the legitimate divergence: a prefix cutting inside a
+        tie group may pick different members, but any symmetric
+        difference carries exactly the tied probability."""
+        model = _model([0.3, 0.3, 0.3])
+        num_paths, max_rank = 27, 3
+        tree = find_promising_paths(model, num_paths, max_rank)
+        brute = brute_force_top_paths(model, num_paths, max_rank)
+        for k in range(1, num_paths + 1):
+            tree_set = {tuple(v) for v in tree.position_vectors[:k]}
+            brute_set = {tuple(v) for v in brute.position_vectors[:k]}
+            for vector in tree_set ^ brute_set:
+                assert model.path_probability(
+                    np.asarray(vector)
+                ) == pytest.approx(float(tree.probabilities[k - 1]))

@@ -133,3 +133,76 @@ class TestModelAgainstMonteCarlo:
         for k in range(2):
             simulated = np.mean(position == k)
             assert predicted[k] == pytest.approx(simulated, abs=0.04)
+
+
+class TestFromChannels:
+    """The stacked error model of the batched cold path."""
+
+    def test_bit_identical_to_per_channel(self, constellation, rng):
+        r_stack = rng.normal(size=(6, 4, 4)) + 1j * rng.normal(size=(6, 4, 4))
+        for formula in ("corrected", "paper"):
+            stacked = LevelErrorModel.from_channels(
+                r_stack, 0.05, constellation, formula=formula
+            )
+            assert len(stacked) == 6
+            for c, model in enumerate(stacked):
+                single = LevelErrorModel.from_channel(
+                    r_stack[c], 0.05, constellation, formula=formula
+                )
+                assert np.array_equal(model.pe, single.pe)
+                assert model.pe.dtype == single.pe.dtype
+
+    def test_accepts_diagonal_stack(self, qam16, rng):
+        r_stack = rng.normal(size=(3, 5, 5)) + 1j * rng.normal(size=(3, 5, 5))
+        diags = np.diagonal(r_stack, axis1=1, axis2=2)
+        from_matrices = LevelErrorModel.from_channels(r_stack, 0.1, qam16)
+        from_diags = LevelErrorModel.from_channels(diags, 0.1, qam16)
+        for a, b in zip(from_matrices, from_diags):
+            assert np.array_equal(a.pe, b.pe)
+
+    def test_bad_shapes_raise(self, qam16):
+        with pytest.raises(DimensionError):
+            LevelErrorModel.from_channels(np.zeros(4), 0.1, qam16)
+        with pytest.raises(ConfigurationError):
+            LevelErrorModel.from_channels(
+                np.ones((2, 3)), 0.1, qam16, formula="bogus"
+            )
+
+
+class TestConstantMemoization:
+    """Constellation-derived Pe constants are derived once per
+    (constellation, formula) — and memoizing must not change results."""
+
+    def test_cache_populates_and_hits(self, qam16):
+        from repro.flexcore import probability as module
+
+        module._PE_CONSTANT_CACHE.pop(qam16, None)
+        first = module._pe_constants(qam16, "corrected")
+        assert module._pe_constants(qam16, "corrected") is first
+        assert module._pe_constants(qam16, "paper") != first
+
+    def test_memoized_values_match_fresh_derivation(self, constellation):
+        from repro.flexcore import probability as module
+
+        diag = np.linspace(0.1, 2.0, 8)
+        warm_corr = pe_corrected(diag, 0.07, constellation)
+        warm_paper = pe_paper_literal(diag, 0.07, constellation)
+        prefactor, half_distance = module._pe_constants(
+            constellation, "corrected"
+        )
+        assert prefactor == 1.0 - 1.0 / constellation.side
+        assert half_distance == constellation.min_distance / 2.0
+        # Evicting and re-deriving reproduces the exact same outputs.
+        module._PE_CONSTANT_CACHE.pop(constellation, None)
+        assert np.array_equal(pe_corrected(diag, 0.07, constellation), warm_corr)
+        assert np.array_equal(
+            pe_paper_literal(diag, 0.07, constellation), warm_paper
+        )
+
+    def test_distinct_constellations_do_not_collide(self):
+        from repro.flexcore import probability as module
+
+        a, b = QamConstellation(16), QamConstellation(64)
+        assert module._pe_constants(a, "corrected") != module._pe_constants(
+            b, "corrected"
+        )

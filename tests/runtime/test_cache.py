@@ -49,6 +49,34 @@ class TestContextKey:
         assert context_key(a, 0.1) != context_key(b, 0.1)
 
 
+class TestBlockContextKeys:
+    """The hoisted-prefix block hasher must stay cache-compatible: keys
+    byte-identical to ``context_key`` per slice, contiguous or not."""
+
+    def test_byte_identical_to_per_slice_keys(self, rng):
+        from repro.runtime import block_context_keys
+
+        channels = rayleigh_channels(7, 4, 3, rng)
+        assert channels.flags["C_CONTIGUOUS"]
+        expected = [context_key(channels[sc], 0.05) for sc in range(7)]
+        assert block_context_keys(channels, 0.05) == expected
+
+    def test_non_contiguous_block_matches_too(self, rng):
+        from repro.runtime import block_context_keys
+
+        base = rayleigh_channels(10, 4, 3, rng)
+        strided = base[::2]  # non-contiguous view
+        assert not strided.flags["C_CONTIGUOUS"]
+        expected = [context_key(strided[sc], 0.2) for sc in range(5)]
+        assert block_context_keys(strided, 0.2) == expected
+
+    def test_rejects_non_block_input(self, rng):
+        from repro.runtime import block_context_keys
+
+        with pytest.raises(ConfigurationError):
+            block_context_keys(rayleigh_channel(4, 3, rng), 0.1)
+
+
 class TestContextCache:
     def test_hit_returns_same_context_object(self, detector, rng):
         cache = ContextCache()
