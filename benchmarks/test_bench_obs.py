@@ -1,0 +1,197 @@
+"""Observability overhead benches: tracing must be (almost) free.
+
+Two bars, recorded to ``BENCH_obs.json``:
+
+* **Disabled** (the default): the instrumentation left in the hot path
+  compiles down to null-tracer calls.  Measured directly — the cost of
+  the null spans a warm array-lane ``detect_batch`` would traverse
+  must stay under 2% of the call itself.
+* **Enabled**: a fully traced streaming run (spans + histograms + the
+  ring buffer) must stay within 10% of the untraced run on the same
+  workload — observability that taxes the system it observes gets
+  turned off, and lies.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import (
+    BackendSpec,
+    DetectorSpec,
+    FarmSpec,
+    StackConfig,
+    TracingSpec,
+    build_stack,
+)
+from repro.channel.fading import rayleigh_channels
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db
+from repro.mimo.system import MimoSystem
+from repro.modulation.constellation import QamConstellation
+from repro.modulation.mapper import random_symbol_indices
+from repro.obs import NULL_TRACER, SPAN_DETECT
+
+NUM_SUBCARRIERS = 32
+NUM_FRAMES = 8
+NUM_PATHS = 32
+REPEATS = 7
+
+BENCH_RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+
+def record_bench(name: str, payload: dict) -> None:
+    """Append one perf record to ``BENCH_obs.json``."""
+    document = {"records": []}
+    if BENCH_RECORD_PATH.exists():
+        try:
+            document = json.loads(BENCH_RECORD_PATH.read_text())
+        except (ValueError, OSError):  # pragma: no cover - corrupt file
+            document = {"records": []}
+    document.setdefault("records", []).append(
+        {
+            "bench": name,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "block": {
+                "subcarriers": NUM_SUBCARRIERS,
+                "frames": NUM_FRAMES,
+                "mimo": "8x8",
+                "qam": 16,
+                "num_paths": NUM_PATHS,
+            },
+            **payload,
+        }
+    )
+    BENCH_RECORD_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+
+def make_config(backend: str, streaming: bool, traced: bool) -> StackConfig:
+    return StackConfig(
+        detector=DetectorSpec(
+            "flexcore", 8, 8, 16, params={"num_paths": NUM_PATHS}
+        ),
+        backend=BackendSpec(backend),
+        farm=FarmSpec(streaming=streaming, cells=2 if streaming else 1),
+        tracing=TracingSpec(enabled=traced),
+    )
+
+
+def make_workload():
+    system = MimoSystem(8, 8, QamConstellation(16))
+    rng = np.random.default_rng(2017)
+    channels = rayleigh_channels(NUM_SUBCARRIERS, 8, 8, rng)
+    noise_var = noise_variance_for_snr_db(20.0)
+    received = np.empty(
+        (NUM_SUBCARRIERS, NUM_FRAMES, 8), dtype=np.complex128
+    )
+    for sc in range(NUM_SUBCARRIERS):
+        indices = random_symbol_indices(
+            NUM_FRAMES, 8, system.constellation, rng
+        )
+        received[sc] = apply_channel(
+            channels[sc], system.constellation.points[indices], noise_var, rng
+        )
+    return channels, received, noise_var
+
+
+def min_time(fn, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_overhead_under_2pct_on_array_lane():
+    """Null-tracer cost vs one warm array-lane ``detect_batch``."""
+    channels, received, noise_var = make_workload()
+    stack = build_stack(make_config("array", streaming=False, traced=False))
+    assert stack.obs is None
+    stack.detect_batch(channels, received, noise_var)  # warm caches
+    lane_s = min_time(
+        lambda: stack.detect_batch(channels, received, noise_var)
+    )
+
+    # Count the instrumentation points a traced warm call traverses
+    # (each recorded event is one span the disabled path still enters
+    # as a null span), then price the null path directly.
+    traced = build_stack(make_config("array", streaming=False, traced=True))
+    traced.detect_batch(channels, received, noise_var)  # warm caches
+    before = len(traced.obs.tracer)
+    traced.detect_batch(channels, received, noise_var)
+    points = max(1, len(traced.obs.tracer) - before)
+
+    trials = 100_000
+    start = time.perf_counter()
+    for _ in range(trials):
+        with NULL_TRACER.span(SPAN_DETECT, backend="array", frames=8):
+            pass
+    null_span_s = (time.perf_counter() - start) / trials
+
+    overhead_s = points * null_span_s
+    ratio = overhead_s / lane_s
+    print(
+        f"\narray lane {lane_s * 1e3:.2f} ms, {points} instrumentation "
+        f"points x {null_span_s * 1e9:.0f} ns null span = "
+        f"{overhead_s * 1e6:.1f} us disabled overhead ({ratio:.3%})"
+    )
+    record_bench(
+        "disabled_null_path_overhead_array_lane",
+        {
+            "backend": "array",
+            "lane_s": lane_s,
+            "instrumentation_points": points,
+            "null_span_s": null_span_s,
+            "overhead_ratio": ratio,
+        },
+    )
+    stack.close()
+    traced.close()
+    assert ratio <= 0.02, (
+        f"disabled tracing costs {ratio:.1%} of the array lane (bar: 2%)"
+    )
+
+
+def test_enabled_overhead_under_10pct_on_streaming_lane():
+    """Fully traced streaming run vs untraced, same warm workload."""
+    channels, received, noise_var = make_workload()
+    plain = build_stack(make_config("serial", streaming=True, traced=False))
+    traced = build_stack(make_config("serial", streaming=True, traced=True))
+
+    reference = plain.detect_batch(channels, received, noise_var)
+    observed = traced.detect_batch(channels, received, noise_var)
+    # Tracing must never change the answer.
+    assert np.array_equal(observed.indices, reference.indices)
+
+    plain_s = min_time(
+        lambda: plain.detect_batch(channels, received, noise_var)
+    )
+    traced_s = min_time(
+        lambda: traced.detect_batch(channels, received, noise_var)
+    )
+    ratio = traced_s / plain_s
+    events = len(traced.obs.tracer)
+    print(
+        f"\nuntraced {plain_s * 1e3:.1f} ms, traced {traced_s * 1e3:.1f} ms "
+        f"({events} buffered events) -> {ratio:.3f}x"
+    )
+    record_bench(
+        "enabled_overhead_streaming_lane",
+        {
+            "backend": "serial",
+            "untraced_s": plain_s,
+            "traced_s": traced_s,
+            "overhead_ratio": ratio,
+            "events_buffered": events,
+        },
+    )
+    plain.close()
+    traced.close()
+    assert ratio <= 1.10, (
+        f"enabled tracing taxes the streaming lane {ratio:.2f}x (bar: 1.10x)"
+    )

@@ -33,6 +33,7 @@ from repro.api.specs import (
     GovernorSpec,
     SchedulerSpec,
     StackConfig,
+    TracingSpec,
 )
 from repro.api.stack import UplinkStack, build_stack
 
@@ -44,6 +45,7 @@ __all__ = [
     "GovernorSpec",
     "SchedulerSpec",
     "StackConfig",
+    "TracingSpec",
     "UplinkStack",
     "build_stack",
     "presets",

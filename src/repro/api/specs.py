@@ -531,6 +531,51 @@ class GovernorSpec:
 
 
 @dataclass(frozen=True)
+class TracingSpec:
+    """Observability switch: span tracing + metrics for the stack.
+
+    Off by default — a disabled spec builds no tracer and the
+    instrumented code paths fall through to the shared no-op tracer.
+    When enabled, :func:`repro.api.build_stack` attaches one
+    :class:`~repro.obs.Observability` hub (tracer + metrics registry)
+    to the whole stack, exported via
+    :meth:`~repro.api.stack.UplinkStack.export_trace` /
+    :meth:`~repro.api.stack.UplinkStack.dump_metrics` or the runner's
+    ``--trace`` / ``--metrics-dump`` flags.
+
+    Attributes
+    ----------
+    enabled:
+        Record spans and metrics for this stack.
+    max_events:
+        Tracer ring-buffer capacity; the oldest spans drop first on a
+        long run.
+    """
+
+    enabled: bool = False
+    max_events: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_events < 1:
+            raise ConfigurationError("max_events must be >= 1")
+
+    def build(self):
+        """An :class:`~repro.obs.Observability` hub, or None if off."""
+        if not self.enabled:
+            return None
+        from repro.obs import Observability
+
+        return Observability(max_events=self.max_events)
+
+    def to_dict(self) -> dict:
+        return {"enabled": self.enabled, "max_events": self.max_events}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TracingSpec":
+        return cls(**_check_unknown_keys(cls, payload))
+
+
+@dataclass(frozen=True)
 class StackConfig:
     """One declarative description of a whole detection stack.
 
@@ -556,6 +601,7 @@ class StackConfig:
     farm: FarmSpec = field(default_factory=FarmSpec)
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
     governor: "GovernorSpec | None" = None
+    tracing: TracingSpec = field(default_factory=TracingSpec)
 
     def __post_init__(self) -> None:
         for name, cls in (
@@ -565,6 +611,7 @@ class StackConfig:
             ("farm", FarmSpec),
             ("scheduler", SchedulerSpec),
             ("governor", GovernorSpec),
+            ("tracing", TracingSpec),
         ):
             value = getattr(self, name)
             if value is None and name in ("detector", "governor"):
@@ -672,6 +719,8 @@ class StackConfig:
             parts.append("batch")
         if self.governor is not None:
             parts.append(f"governor={self.governor.policy}")
+        if self.tracing.enabled:
+            parts.append("traced")
         return ", ".join(parts)
 
     def to_dict(self) -> dict:
@@ -687,6 +736,7 @@ class StackConfig:
             "governor": (
                 self.governor.to_dict() if self.governor is not None else None
             ),
+            "tracing": self.tracing.to_dict(),
         }
 
     @classmethod
@@ -708,4 +758,6 @@ class StackConfig:
             )
         if payload.get("governor") is not None:
             kwargs["governor"] = GovernorSpec.from_dict(payload["governor"])
+        if "tracing" in payload:
+            kwargs["tracing"] = TracingSpec.from_dict(payload["tracing"])
         return cls(**kwargs)

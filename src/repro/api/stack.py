@@ -22,6 +22,7 @@ from repro.control.workload import (
 )
 from repro.detectors.base import Detector
 from repro.errors import ConfigurationError
+from repro.obs import get_global
 from repro.runtime.cells import StreamingUplinkEngine
 from repro.runtime.engine import BatchedUplinkEngine
 from repro.utils.flops import NULL_COUNTER, FlopCounter
@@ -55,11 +56,15 @@ class UplinkStack:
         detector: Detector,
         engine,
         governor=None,
+        obs=None,
     ):
         self.config = config
         self.detector = detector
         self.engine = engine
         self.governor = governor
+        #: The stack's :class:`~repro.obs.Observability` hub (tracer +
+        #: metrics registry), or None when tracing is off.
+        self.obs = obs
         self._closed = False
 
     # -- passthrough surface -------------------------------------------
@@ -217,6 +222,24 @@ class UplinkStack:
             payload["governor"] = self.governor.as_dict()
         return payload
 
+    # -- observability -------------------------------------------------
+    def _require_obs(self, what: str):
+        if self.obs is None:
+            raise ConfigurationError(
+                f"{what} requires tracing; enable it with "
+                "TracingSpec(enabled=True) in the config (or the "
+                "runner's --trace flag)"
+            )
+        return self.obs
+
+    def export_trace(self, path) -> None:
+        """Write the stack's Chrome trace-event JSON to ``path``."""
+        self._require_obs("export_trace").export_trace(path)
+
+    def dump_metrics(self, path) -> None:
+        """Write the Prometheus metrics exposition to ``path``."""
+        self._require_obs("dump_metrics").dump_metrics(path)
+
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
         """Release backend resources; safe to call more than once."""
@@ -263,6 +286,11 @@ def build_stack(
             f"{type(detector).__name__}"
         )
     backend = config.backend.build()
+    # A process-global hub (the runner's --trace) takes precedence over
+    # the config's own spec; either way a single hub spans the stack.
+    obs = get_global()
+    if obs is None:
+        obs = config.tracing.build()
     if config.farm.streaming:
         governor = (
             config.governor.build(
@@ -282,7 +310,10 @@ def build_stack(
             flush_margin_s=config.scheduler.flush_margin_s,
             max_cache_entries=config.cache.max_entries,
             governor=governor,
+            obs=obs,
         )
+        if governor is not None and obs is not None:
+            governor.tracer = obs.tracer
     else:
         governor = None
         engine = BatchedUplinkEngine(
@@ -290,5 +321,6 @@ def build_stack(
             backend=backend,
             cache_contexts=config.cache.enabled,
             max_cache_entries=config.cache.max_entries,
+            obs=obs,
         )
-    return UplinkStack(config, detector, engine, governor)
+    return UplinkStack(config, detector, engine, governor, obs=obs)

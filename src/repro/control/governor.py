@@ -42,6 +42,7 @@ from repro.control.policy import (
     allocate_budget,
 )
 from repro.errors import ConfigurationError
+from repro.obs import NULL_TRACER, SPAN_GOVERNOR_TICK
 
 
 @dataclass(frozen=True)
@@ -175,6 +176,10 @@ class ComputeGovernor:
         slowly).
     """
 
+    #: Span tracer control ticks record under; the scheduler (or
+    #: ``build_stack``) swaps in a live one when observability is on.
+    tracer = NULL_TRACER
+
     def __init__(
         self,
         policy: PathBudgetPolicy,
@@ -305,6 +310,25 @@ class ComputeGovernor:
     # -- the control law ------------------------------------------------
     def tick(self, now: float) -> None:
         """One control step over every known cell."""
+        if not self.tracer.enabled:
+            self._tick(now)
+            return
+        with self.tracer.span(SPAN_GOVERNOR_TICK) as span:
+            self._tick(now)
+            span.set(
+                tick=self.telemetry.ticks,
+                budgets={
+                    cell_id: lane.budget
+                    for cell_id, lane in self._lanes.items()
+                },
+                shedding=[
+                    cell_id
+                    for cell_id, lane in self._lanes.items()
+                    if lane.shedding
+                ],
+            )
+
+    def _tick(self, now: float) -> None:
         self._last_tick_s = now
         self.telemetry.ticks += 1
         slot_budget = (

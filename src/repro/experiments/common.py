@@ -10,24 +10,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ExperimentError
-
-
-def atomic_write_text(path: "str | Path", text: str) -> None:
-    """Write ``text`` to ``path`` atomically.
-
-    The bytes land in a ``*.tmp`` sibling first and are moved into
-    place with :func:`os.replace`, so a run killed mid-save leaves
-    either the previous file or the new one — never a truncated,
-    unparseable result.
-    """
-    path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    try:
-        tmp.write_text(text)
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+from repro.utils.io import atomic_write_text  # noqa: F401  (compat re-export)
 
 
 @dataclass(frozen=True)

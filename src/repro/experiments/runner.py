@@ -34,6 +34,7 @@ from repro.control.workload import SCENARIOS
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments import get_profile
 from repro.experiments.common import atomic_write_text
+from repro.obs import clear_global, install_global
 from repro.experiments import (
     ablations,
     farm,
@@ -209,6 +210,23 @@ def main(argv=None) -> int:
         "`fleet`); each worker rebuilds its stack slice from the "
         "serialized StackConfig",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a span timeline across every experiment run and "
+        "write it to PATH as Chrome trace-event JSON (open in "
+        "chrome://tracing or https://ui.perfetto.dev); implies tracing "
+        "on in the effective StackConfig",
+    )
+    parser.add_argument(
+        "--metrics-dump",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry (counters, gauges, "
+        "latency histograms) to PATH in Prometheus text exposition "
+        "format; implies tracing on in the effective StackConfig",
+    )
     args = parser.parse_args(argv)
     if args.cells is not None and args.cells < 1:
         parser.error("--cells must be >= 1")
@@ -220,6 +238,12 @@ def main(argv=None) -> int:
         effective = _layer_flags(base, args)
     except ConfigurationError as error:
         parser.error(str(error))
+    if args.trace or args.metrics_dump:
+        # The exported config records tracing on, so a saved result's
+        # embedded "config" block reproduces the observed run.
+        effective = replace(
+            effective, tracing=replace(effective.tracing, enabled=True)
+        )
     explicit_config = bool(args.config or args.preset)
 
     if args.dump_config:
@@ -263,47 +287,67 @@ def main(argv=None) -> int:
         requested.setdefault("cells", effective.farm.cells)
         if effective.governor is not None:
             requested.setdefault("governor", effective.governor.policy)
-    for name in names:
-        started = time.perf_counter()
-        entry = EXPERIMENTS[name]
-        parameters = inspect.signature(entry).parameters
-        per_experiment = dict(requested)
-        if explicit_config and "stack_config" in parameters:
-            # The full config wins over the derived flags inside the
-            # experiment; the flags stay for experiments without it.
-            per_experiment["stack_config"] = effective
-        # --cells N (> 1) implies streaming, but only for experiments
-        # that actually route through the streaming engine — the farm
-        # experiment takes cells without a streaming switch, and must
-        # not be told its flags were ignored.
-        if (
-            (args.cells or 0) > 1
-            and "streaming" in parameters
-            and "streaming" not in per_experiment
-        ):
-            per_experiment["streaming"] = True
-        kwargs = {}
-        for key, value in per_experiment.items():
-            if key in parameters:
-                kwargs[key] = value
-            else:
-                print(f"[{name}: no {key} parameter, running default]")
-        try:
-            result = entry(profile, **kwargs)
-        except ExperimentError as error:
-            print(f"{name}: FAILED — {error}", file=sys.stderr)
-            return 1
-        elapsed = time.perf_counter() - started
-        print(result.to_text_table())
-        print(f"[{name} completed in {elapsed:.1f}s]")
-        print()
-        if result.config is None:
-            # Experiments that wire their own stack embed their exact
-            # config; everything else records the runner-level one, so
-            # every saved JSON carries a parseable "config" block.
-            result.config = effective.to_dict()
-        if out_dir:
-            result.save_json(out_dir / f"{name}.json")
+    obs = None
+    if args.trace or args.metrics_dump:
+        # One process-global hub spans every experiment of the run:
+        # stacks built anywhere below (experiments, coordinators,
+        # forked-farm slices) record into it without plumbing.
+        obs = effective.tracing.build()
+        install_global(obs)
+    try:
+        for name in names:
+            started = time.perf_counter()
+            entry = EXPERIMENTS[name]
+            parameters = inspect.signature(entry).parameters
+            per_experiment = dict(requested)
+            if explicit_config and "stack_config" in parameters:
+                # The full config wins over the derived flags inside the
+                # experiment; the flags stay for experiments without it.
+                per_experiment["stack_config"] = effective
+            # --cells N (> 1) implies streaming, but only for experiments
+            # that actually route through the streaming engine — the farm
+            # experiment takes cells without a streaming switch, and must
+            # not be told its flags were ignored.
+            if (
+                (args.cells or 0) > 1
+                and "streaming" in parameters
+                and "streaming" not in per_experiment
+            ):
+                per_experiment["streaming"] = True
+            kwargs = {}
+            for key, value in per_experiment.items():
+                if key in parameters:
+                    kwargs[key] = value
+                else:
+                    print(f"[{name}: no {key} parameter, running default]")
+            try:
+                result = entry(profile, **kwargs)
+            except ExperimentError as error:
+                print(f"{name}: FAILED — {error}", file=sys.stderr)
+                return 1
+            elapsed = time.perf_counter() - started
+            print(result.to_text_table())
+            print(f"[{name} completed in {elapsed:.1f}s]")
+            print()
+            if result.config is None:
+                # Experiments that wire their own stack embed their exact
+                # config; everything else records the runner-level one, so
+                # every saved JSON carries a parseable "config" block.
+                result.config = effective.to_dict()
+            if out_dir:
+                result.save_json(out_dir / f"{name}.json")
+    finally:
+        if obs is not None:
+            clear_global()
+            if args.trace:
+                obs.export_trace(args.trace)
+                print(
+                    f"[trace written to {args.trace} — open in "
+                    "chrome://tracing or https://ui.perfetto.dev]"
+                )
+            if args.metrics_dump:
+                obs.dump_metrics(args.metrics_dump)
+                print(f"[metrics written to {args.metrics_dump}]")
     return 0
 
 

@@ -28,7 +28,7 @@ import multiprocessing
 import os
 import signal
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.api import StackConfig
 from repro.control.policy import allocate_budget
@@ -47,6 +47,13 @@ from repro.farm.protocol import (
     scenario_to_payload,
 )
 from repro.farm.worker import worker_main
+from repro.obs import (
+    EVENT_WORKER_RESTART,
+    NULL_TRACER,
+    SPAN_CHUNK,
+    WORKER_PID_BASE,
+    get_global,
+)
 from repro.runtime.scheduler import merge_scheduler_summaries
 
 #: How often a waiting coordinator re-checks the pipe and the process.
@@ -179,6 +186,14 @@ class FarmCoordinator:
         ``{worker_index: chunk_index}`` — SIGKILL that worker right
         after that chunk is dispatched to it.  The scripted crash the
         recovery tests, the CI smoke lane and the bench all share.
+    obs:
+        An :class:`~repro.obs.Observability` hub the fleet timeline is
+        folded into.  Defaults to the process-global hub (installed by
+        the runner's ``--trace``), else what ``config.tracing`` builds.
+        When a hub is present, every worker slice is shipped with
+        tracing force-enabled and each ``slots_done`` reply's spans and
+        metric deltas are merged here — one Chrome trace with a lane
+        per worker, restart instants and all.
     """
 
     def __init__(
@@ -190,6 +205,7 @@ class FarmCoordinator:
         slots_per_chunk: int = 4,
         start_method: "str | None" = None,
         kill_script: "dict[int, int] | None" = None,
+        obs=None,
     ):
         if not config.farm.streaming:
             raise ConfigurationError(
@@ -212,7 +228,25 @@ class FarmCoordinator:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._mp = multiprocessing.get_context(start_method)
+        if obs is None:
+            obs = get_global()
+        if obs is None:
+            obs = config.tracing.build()
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
         self._slices = config.split_cells(workers)
+        if obs is not None:
+            # Workers trace through their own (config-built) hub and
+            # ship spans back per chunk, so force tracing on in every
+            # slice even when only the coordinator side enabled it.
+            self._slices = [
+                replace(sub, tracing=replace(sub.tracing, enabled=True))
+                for sub in self._slices
+            ]
+            for index in range(len(self._slices)):
+                obs.tracer.set_process_name(
+                    WORKER_PID_BASE + index, f"worker-{index}"
+                )
         self._handles = [
             _Handle(index, sub.to_dict())
             for index, sub in enumerate(self._slices)
@@ -361,6 +395,16 @@ class FarmCoordinator:
             handle.conn.close()
         restart = WorkerRestart(handle.index, failure.reason, phase)
         self.restarts.append(restart)
+        if self.obs is not None:
+            # Mark the recovery on the *worker's* timeline lane: the
+            # spans that chunk produced died with the process, so the
+            # instant is what explains the gap.
+            self._tracer.instant(
+                EVENT_WORKER_RESTART,
+                restart.as_dict(),
+                pid=WORKER_PID_BASE + handle.index,
+            )
+            self.obs.metrics.counter("repro_worker_restarts_total").inc()
         self._spawn(handle)
         # The config rebuilt the stack; re-arm the workload and the
         # fleet's last budget awards so the replay resumes governed.
@@ -568,15 +612,18 @@ class FarmCoordinator:
                 self.reply_timeout_s
                 + 2.0 * (stop - start) * slot_interval_s
             )
-            for handle in self._handles:
-                self._send_checked(handle, message, phase)
-                if kill_script.get(handle.index) == chunk_index:
-                    del kill_script[handle.index]
-                    self.kill_worker(handle.index)
-            replies = [
-                self._collect(handle, message, timeout, phase)
-                for handle in self._handles
-            ]
+            with self._tracer.span(
+                SPAN_CHUNK, chunk=chunk_index, start=start, stop=stop
+            ):
+                for handle in self._handles:
+                    self._send_checked(handle, message, phase)
+                    if kill_script.get(handle.index) == chunk_index:
+                        del kill_script[handle.index]
+                        self.kill_worker(handle.index)
+                replies = [
+                    self._collect(handle, message, timeout, phase)
+                    for handle in self._handles
+                ]
             desires: "dict[str, int]" = {}
             floors: "dict[str, int]" = {}
             for handle, reply in zip(self._handles, replies):
@@ -586,6 +633,7 @@ class FarmCoordinator:
                 cells.update(reply.get("cells", {}))
                 desires.update(reply.get("desired_budgets", {}))
                 floors.update(reply.get("floors", {}))
+                self._fold_obs(handle, reply)
             if self._total_budget is not None and desires:
                 self._tick_global_budget(desires, floors)
         elapsed = time.monotonic() - started_at
@@ -611,6 +659,25 @@ class FarmCoordinator:
         for handle in self._handles:
             handle.summary = None
         return report
+
+    def _fold_obs(self, handle: _Handle, reply: dict) -> None:
+        """Merge one chunk reply's spans + metric deltas into the hub.
+
+        Worker events are restamped onto that worker's pid lane;
+        ``time.monotonic`` is CLOCK_MONOTONIC system-wide on Linux, so
+        forked workers' timestamps land on the coordinator's timeline
+        without translation.
+        """
+        if self.obs is None:
+            return
+        spans = reply.get("spans")
+        if spans:
+            self._tracer.extend(
+                spans, pid=WORKER_PID_BASE + handle.index
+            )
+        metrics = reply.get("metrics")
+        if metrics:
+            self.obs.metrics.merge_dict(metrics)
 
     def _tick_global_budget(
         self, desires: "dict[str, int]", floors: "dict[str, int]"

@@ -21,7 +21,11 @@ Coordinator -> worker commands:
 ``run_slots``
     Pace slots ``[start, stop)`` of the installed scenario through the
     worker's stack; reply is ``slots_done`` with the chunk's scheduler
-    summary and the governor's desired budgets.
+    summary and the governor's desired budgets.  When the worker's
+    config slice enables tracing, the reply additionally carries
+    ``spans`` (the chunk's drained Chrome-trace events) and ``metrics``
+    (a :meth:`~repro.obs.MetricsRegistry.drain` delta payload) for the
+    coordinator to fold into the fleet-wide timeline.
 ``set_budgets``
     Install globally-awarded per-cell path budgets
     (:meth:`~repro.control.governor.ComputeGovernor.install_budgets`).

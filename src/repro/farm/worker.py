@@ -42,6 +42,7 @@ from repro.farm.protocol import (
     MSG_WORKLOAD_SET,
     scenario_from_payload,
 )
+from repro.obs import clear_global
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
 from repro.runtime.scheduler import merge_scheduler_summaries
 
@@ -148,6 +149,13 @@ class _WorkerState:
                 self.cell_ids
             )
             reply["floors"] = governor.floor_budgets(self.cell_ids)
+        obs = self.stack.obs
+        if obs is not None:
+            # Drain, don't snapshot: each chunk reply carries only the
+            # spans and metric deltas since the previous one, so the
+            # coordinator can fold replies without double counting.
+            reply["spans"] = obs.tracer.drain()
+            reply["metrics"] = obs.metrics.drain()
         return reply
 
     async def _paced_chunk(
@@ -243,6 +251,12 @@ def worker_main(conn, config_payload: dict) -> None:
     """
     state = None
     try:
+        # A forked worker inherits the parent's process-global
+        # observability hub; recording into it here would interleave
+        # worker spans into a buffer nobody exports.  Workers trace
+        # through their own hub (config.tracing) and ship spans back in
+        # each slots_done reply instead.
+        clear_global()
         state = _WorkerState(StackConfig.from_dict(config_payload))
         conn.send({"type": MSG_READY, "cells": state.cell_ids})
         while True:

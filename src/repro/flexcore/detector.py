@@ -52,6 +52,7 @@ from repro.mimo.qr import (
 )
 from repro.flexcore.probability import LevelErrorModel
 from repro.mimo.system import MimoSystem
+from repro.obs import SPAN_QR, SPAN_TREE_SEARCH, current_tracer
 from repro.utils.flops import NULL_COUNTER, FlopCounter
 from repro.utils.xp import resolve_array_module
 
@@ -136,12 +137,15 @@ class FlexCoreDetector(Detector):
         counter: FlopCounter = NULL_COUNTER,
     ) -> FlexCoreContext:
         channel = self._check_channel(channel)
-        if self.qr_method == "sorted":
-            qr = sorted_qr(channel, counter=counter)
-        elif self.qr_method == "fcsd":
-            qr = fcsd_sorted_qr(channel, 1, noise_var, counter=counter)
-        else:
-            qr = plain_qr(channel, counter=counter)
+        with current_tracer().span(
+            SPAN_QR, method=self.qr_method, channels=1
+        ):
+            if self.qr_method == "sorted":
+                qr = sorted_qr(channel, counter=counter)
+            elif self.qr_method == "fcsd":
+                qr = fcsd_sorted_qr(channel, 1, noise_var, counter=counter)
+            else:
+                qr = plain_qr(channel, counter=counter)
         return self._context_from_qr(qr, noise_var, counter)
 
     def prepare_many(
@@ -169,14 +173,22 @@ class FlexCoreDetector(Detector):
             )
         for c in range(channels.shape[0]):
             self._check_channel(channels[c])
-        if self.qr_method == "sorted":
-            qrs = stacked_sorted_qr(channels, counter=counter)
-        elif self.qr_method == "fcsd":
-            qrs = stacked_fcsd_sorted_qr(
-                channels, 1, noise_var, counter=counter
-            )
-        else:
-            qrs = stacked_plain_qr(channels, counter=counter)
+        # The ambient tracer (installed by DetectionService.detect) is
+        # how these kernels report without threading a tracer through
+        # every prepare signature — cache-miss path only, so the
+        # contextvar lookup never taxes the warm path.
+        tracer = current_tracer()
+        with tracer.span(
+            SPAN_QR, method=self.qr_method, channels=channels.shape[0]
+        ):
+            if self.qr_method == "sorted":
+                qrs = stacked_sorted_qr(channels, counter=counter)
+            elif self.qr_method == "fcsd":
+                qrs = stacked_fcsd_sorted_qr(
+                    channels, 1, noise_var, counter=counter
+                )
+            else:
+                qrs = stacked_plain_qr(channels, counter=counter)
         return self._contexts_from_qrs(qrs, noise_var, counter)
 
     def _context_from_qr(
@@ -190,14 +202,17 @@ class FlexCoreDetector(Detector):
         model = LevelErrorModel.from_channel(
             qr.r, noise_var, self.system.constellation, formula=self.pe_formula
         )
-        preprocessing = find_promising_paths(
-            model,
-            num_paths=self.num_paths,
-            max_rank=self.system.constellation.order,
-            stop_threshold=self.stop_threshold,
-            batch_size=self.batch_expansion,
-            counter=counter,
-        )
+        with current_tracer().span(
+            SPAN_TREE_SEARCH, channels=1, path_budget=self.num_paths
+        ):
+            preprocessing = find_promising_paths(
+                model,
+                num_paths=self.num_paths,
+                max_rank=self.system.constellation.order,
+                stop_threshold=self.stop_threshold,
+                batch_size=self.batch_expansion,
+                counter=counter,
+            )
         return self._finalize_context(qr, preprocessing)
 
     def _contexts_from_qrs(
@@ -226,14 +241,19 @@ class FlexCoreDetector(Detector):
             self.system.constellation,
             formula=self.pe_formula,
         )
-        block = find_promising_paths_block(
-            models,
-            num_paths=self.num_paths,
-            max_rank=self.system.constellation.order,
-            stop_threshold=self.stop_threshold,
-            batch_size=self.batch_expansion,
-            counter=counter,
-        )
+        with current_tracer().span(
+            SPAN_TREE_SEARCH,
+            channels=len(qrs),
+            path_budget=self.num_paths,
+        ):
+            block = find_promising_paths_block(
+                models,
+                num_paths=self.num_paths,
+                max_rank=self.system.constellation.order,
+                stop_threshold=self.stop_threshold,
+                batch_size=self.batch_expansion,
+                counter=counter,
+            )
         return [
             self._finalize_context(qr, preprocessing)
             for qr, preprocessing in zip(qrs, block)

@@ -1,0 +1,328 @@
+"""Counters, gauges, and mergeable fixed-bucket latency histograms.
+
+The registry is deliberately Prometheus-shaped — metric names follow
+the ``repro_*_total`` / ``*_seconds`` conventions and
+:meth:`MetricsRegistry.prometheus_text` emits standard text
+exposition — but has zero dependencies and one extra capability the
+farm needs: **mergeability**.  Two histograms over the same bucket
+edges merge by element-wise count addition, so worker chunk replies
+fold into one fleet-wide distribution whose percentiles are exact to
+bucket resolution (no mean-of-means drift).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_LATENCY_EDGES_S",
+    "DEADLINE_MARGIN_EDGES_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Log-spaced seconds buckets, 10 µs … 10 s — wide enough for a cold
+#: prepare, fine enough to resolve a 500 µs slot budget.
+DEFAULT_LATENCY_EDGES_S = tuple(
+    round(base * 10.0**exp, 12)
+    for exp in range(-5, 1)
+    for base in (1.0, 2.0, 5.0)
+) + (10.0,)
+
+#: Signed seconds buckets around zero for deadline margin
+#: (completion − deadline): negative = early, positive = late.
+DEADLINE_MARGIN_EDGES_S = (
+    -1e-2,
+    -5e-3,
+    -2e-3,
+    -1e-3,
+    -5e-4,
+    -2e-4,
+    -1e-4,
+    -5e-5,
+    0.0,
+    5e-5,
+    1e-4,
+    2e-4,
+    5e-4,
+    1e-3,
+    2e-3,
+    5e-3,
+    1e-2,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"invalid metric name {name!r} (must match {_NAME_RE.pattern})"
+        )
+    return name
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0):
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact-to-bucket percentiles.
+
+    ``edges`` are the strictly increasing upper bounds of the finite
+    buckets (``value <= edge`` lands in that bucket — Prometheus ``le``
+    semantics); one implicit overflow bucket catches everything above
+    the last edge.  Two histograms with equal edges merge by adding
+    counts, which commutes and associates — the property the farm's
+    fold relies on.
+    """
+
+    __slots__ = ("edges", "counts", "sum", "_min", "_max")
+
+    def __init__(self, edges=DEFAULT_LATENCY_EDGES_S):
+        edges = tuple(float(edge) for edge in edges)
+        if not edges:
+            raise ConfigurationError("histogram needs at least one edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                "histogram edges must be strictly increasing"
+            )
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        return self.sum / count if count else 0.0
+
+    @property
+    def min(self):
+        return None if self._min is math.inf else self._min
+
+    @property
+    def max(self):
+        return None if self._max is -math.inf else self._max
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Upper bucket edge covering the ``q``-quantile.
+
+        Conservative by construction: the true quantile is ≤ the
+        returned edge.  The overflow bucket reports the observed max
+        (its upper edge is infinite).  Empty histogram → 0.0.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * total))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == len(self.edges):
+                    return self._max
+                return self.edges[index]
+        return self._max  # pragma: no cover — rank <= total always hits
+
+    def quantiles(self) -> dict:
+        """The standard latency summary: p50/p95/p99/p999."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+        }
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram in place."""
+        if self.edges != other.edges:
+            raise ConfigurationError(
+                "cannot merge histograms with different bucket edges"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.sum += other.sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        hist = cls(payload["edges"])
+        counts = list(payload["counts"])
+        if len(counts) != len(hist.counts):
+            raise ConfigurationError(
+                f"histogram payload has {len(counts)} counts for "
+                f"{len(hist.edges)} edges"
+            )
+        hist.counts = [int(c) for c in counts]
+        hist.sum = float(payload["sum"])
+        hist._min = math.inf if payload.get("min") is None else float(payload["min"])
+        hist._max = -math.inf if payload.get("max") is None else float(payload["max"])
+        return hist
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float formatting (no trailing noise, inf spelled out)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with get-or-create access."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _check_conflict(self, name: str, kind: dict) -> None:
+        for registered in (self._counters, self._gauges, self._histograms):
+            if registered is not kind and name in registered:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        _check_name(name)
+        self._check_conflict(name, self._counters)
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        _check_name(name)
+        self._check_conflict(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, edges=DEFAULT_LATENCY_EDGES_S) -> Histogram:
+        _check_name(name)
+        self._check_conflict(name, self._histograms)
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(edges)
+        elif hist.edges != tuple(float(e) for e in edges):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with different edges"
+            )
+        return hist
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot (the farm chunk-reply payload)."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: h.to_dict() for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold a :meth:`to_dict` payload into this registry.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge by bucket addition.
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist_payload in payload.get("histograms", {}).items():
+            incoming = Histogram.from_dict(hist_payload)
+            self.histogram(name, incoming.edges).merge(incoming)
+
+    def drain(self) -> dict:
+        """Snapshot then reset counters and histograms (gauges keep
+        their last value).  Workers call this per chunk so replies
+        carry deltas and the coordinator's fold never double-counts."""
+        payload = self.to_dict()
+        for counter in self._counters.values():
+            counter.value = 0
+        for name, hist in list(self._histograms.items()):
+            self._histograms[name] = Histogram(hist.edges)
+        return payload
+
+    # ------------------------------------------------------------------
+    def prometheus_text(self) -> str:
+        """Standard Prometheus text exposition of every metric."""
+        lines = []
+        for name in sorted(self._counters):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(self._counters[name].value)}")
+        for name in sorted(self._gauges):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for edge, bucket_count in zip(hist.edges, hist.counts):
+                cumulative += bucket_count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(edge)}"}} {cumulative}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{name}_sum {_fmt(hist.sum)}")
+            lines.append(f"{name}_count {hist.count}")
+        return "\n".join(lines) + "\n"

@@ -10,52 +10,23 @@ engine shards, caches and vectorises over.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import DimensionError
 
-#: Legacy flat stat keys and the snapshot reads that replace them.
-DEPRECATED_STAT_ALIASES = {
-    "cache_hits": 'stats["cache"].hits',
-    "contexts_prepared": 'stats["cache"].misses',
-}
-
 
 class RuntimeStats(dict):
     """The runtime's per-batch stats mapping.
 
-    A plain ``dict`` except that reading one of the legacy alias keys
-    (``cache_hits`` / ``contexts_prepared``, kept from the pre-snapshot
-    era) emits a :class:`DeprecationWarning` pointing at the
-    ``stats["cache"]`` :class:`~repro.runtime.cache.CacheStats` snapshot
-    that replaced them.  The aliases still *work* — existing dashboards
-    keep reading — but every read now says where to migrate.
+    A plain ``dict`` kept as a named type so the stats surface stays an
+    explicit part of the API.  Cache movement lives under the
+    ``"cache"`` key as a :class:`~repro.runtime.cache.CacheStats`
+    snapshot; the flat ``cache_hits`` / ``contexts_prepared`` aliases
+    from the pre-snapshot era were deprecated in PR 4/5 and have been
+    removed.
     """
-
-    @staticmethod
-    def _warn_if_deprecated(key) -> None:
-        replacement = DEPRECATED_STAT_ALIASES.get(key)
-        if replacement is not None:
-            warnings.warn(
-                f"stats[{key!r}] is deprecated; read {replacement} "
-                "instead (a CacheStats snapshot, or a {cell_id: "
-                "CacheStats} mapping from a cell farm)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-
-    def __getitem__(self, key):
-        self._warn_if_deprecated(key)
-        return super().__getitem__(key)
-
-    def get(self, key, default=None):
-        # dict.get is C-level and bypasses __getitem__; warn here too
-        # so .get() readers of the aliases are not silently stranded.
-        self._warn_if_deprecated(key)
-        return super().get(key, default)
 
 
 @dataclass(frozen=True)
@@ -160,10 +131,7 @@ class BatchDetectionResult:
         cache movement under ``stats["cache"]`` — a
         :class:`~repro.runtime.cache.CacheStats` snapshot (a
         ``{cell_id: CacheStats}`` mapping when the workload was sharded
-        across a cell farm).  ``stats["cache_hits"]`` and
-        ``stats["contexts_prepared"]`` are deprecated aliases of the
-        snapshot's ``hits``/``misses``; reading them through the
-        :class:`RuntimeStats` mapping warns with the migration target.
+        across a cell farm).
     """
 
     indices: np.ndarray

@@ -22,7 +22,6 @@ the equivalence suite pins bit-identical to the batch engine.
 from __future__ import annotations
 
 import asyncio
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -53,11 +52,9 @@ class CellStats:
 
     The cell's cache movement lives in the ``cache``
     :class:`~repro.runtime.cache.CacheStats` snapshot (accumulated
-    flush deltas).  The flat ``contexts_prepared`` / ``cache_hits``
-    attributes from the pre-snapshot era survive as deprecated aliases
-    of ``cache.misses`` / ``cache.hits`` — reading them warns with the
-    migration target, exactly as the batch engine's
-    :class:`~repro.runtime.batch.RuntimeStats` aliases do.
+    flush deltas); the flat ``contexts_prepared`` / ``cache_hits``
+    aliases from the pre-snapshot era were deprecated in PR 4/5 and
+    have been removed.
     """
 
     frames: int = 0
@@ -101,28 +98,6 @@ class CellStats:
     def deadline_hit_rate(self) -> float:
         total = self.frames_on_time + self.frames_late
         return self.frames_on_time / total if total else 1.0
-
-    @property
-    def contexts_prepared(self) -> int:
-        """Deprecated alias of ``cache.misses`` (reading it warns)."""
-        warnings.warn(
-            "CellStats.contexts_prepared is deprecated; read "
-            "stats.cache.misses instead (a CacheStats snapshot)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.cache.misses
-
-    @property
-    def cache_hits(self) -> int:
-        """Deprecated alias of ``cache.hits`` (reading it warns)."""
-        warnings.warn(
-            "CellStats.cache_hits is deprecated; read stats.cache.hits "
-            "instead (a CacheStats snapshot)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.cache.hits
 
     def as_dict(self) -> dict:
         """JSON-friendly snapshot (what ``UplinkStack.stats`` surfaces)."""
@@ -183,13 +158,17 @@ class CellFarm:
         self,
         backend: str = "serial",
         service: "DetectionService | None" = None,
+        obs=None,
     ):
         if service is None:
-            self.service = DetectionService(backend)
+            self.service = DetectionService(backend, obs=obs)
             self._owns_service = True
         else:
             self.service = service
             self._owns_service = False
+        #: The farm's observability hub: the service's (which already
+        #: fell back to the process-global hub when none was given).
+        self.obs = self.service.obs
         self.cells: "dict[str, Cell]" = {}
 
     # ------------------------------------------------------------------
@@ -217,6 +196,7 @@ class CellFarm:
     # ------------------------------------------------------------------
     def scheduler(self, **kwargs) -> StreamingScheduler:
         """A streaming scheduler serving this farm's cells on its service."""
+        kwargs.setdefault("obs", self.obs)
         return StreamingScheduler(self.cells, service=self.service, **kwargs)
 
     def stats(self) -> "dict[str, CellStats]":
@@ -273,13 +253,14 @@ class StreamingUplinkEngine:
         governor=None,
         cell_prefix: str = "cell",
         cell_offset: int = 0,
+        obs=None,
     ):
         if cells < 1:
             raise ConfigurationError("cells must be >= 1")
         if cell_offset < 0:
             raise ConfigurationError("cell_offset must be >= 0")
         self.detector = detector
-        self.farm = CellFarm(backend)
+        self.farm = CellFarm(backend, obs=obs)
         for index in range(cells):
             self.farm.add_cell(
                 f"{cell_prefix}{cell_offset + index}",
@@ -308,6 +289,11 @@ class StreamingUplinkEngine:
     @property
     def backend(self):
         return self.farm.service.backend
+
+    @property
+    def obs(self):
+        """The farm's observability hub (``None`` untraced)."""
+        return self.farm.obs
 
     @property
     def supports_soft(self) -> bool:
@@ -426,14 +412,8 @@ class StreamingUplinkEngine:
                 "subcarriers": batch.num_subcarriers,
                 "frames": batch.num_frames,
                 "scheduler": telemetry.as_dict(),
-                # Per-cell cache snapshot, plus the aggregate deprecated
-                # aliases the batch engine has always exposed (reading
-                # them warns; see RuntimeStats).
+                # Per-cell cache snapshot ({cell_id: CacheStats}).
                 "cache": cache_delta,
-                "cache_hits": sum(d.hits for d in cache_delta.values()),
-                "contexts_prepared": sum(
-                    d.misses for d in cache_delta.values()
-                ),
             }
         )
         return BatchDetectionResult(

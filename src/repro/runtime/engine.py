@@ -65,6 +65,10 @@ class BatchedUplinkEngine:
         runtime benchmark measures against.
     max_cache_entries:
         LRU capacity of the context cache.
+    obs:
+        An :class:`~repro.obs.Observability` hub for span tracing and
+        metrics, passed through to the service the engine creates (a
+        shared pre-built service keeps its own).
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class BatchedUplinkEngine:
         backend: "str | ExecutionBackend | DetectionService" = "serial",
         cache_contexts: bool = True,
         max_cache_entries: int = 1024,
+        obs=None,
     ):
         if not isinstance(detector, Detector):
             raise ConfigurationError(
@@ -84,7 +89,7 @@ class BatchedUplinkEngine:
             self.service = backend
             self._owns_service = False
         else:
-            self.service = DetectionService(backend)
+            self.service = DetectionService(backend, obs=obs)
             self._owns_service = True
         self.cache_contexts = bool(cache_contexts)
         self._cache = ContextCache(max_entries=max_cache_entries)
@@ -95,6 +100,11 @@ class BatchedUplinkEngine:
     def backend(self) -> ExecutionBackend:
         """The execution backend the bound service runs on."""
         return self.service.backend
+
+    @property
+    def obs(self):
+        """The bound service's observability hub (``None`` untraced)."""
+        return self.service.obs
 
     @property
     def supports_soft(self) -> bool:

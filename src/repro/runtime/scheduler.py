@@ -35,6 +35,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError, LoadShedError
+from repro.obs import (
+    DEADLINE_MARGIN_EDGES_S,
+    NULL_TRACER,
+    SPAN_FLUSH,
+    Histogram,
+    get_global,
+)
 from repro.ofdm.lte import SLOT_DURATION_S, SYMBOLS_PER_SLOT, slot_deadline
 from repro.runtime.batch import UplinkBatch
 from repro.runtime.cache import context_key
@@ -153,6 +160,10 @@ class SchedulerTelemetry:
     records_dropped: int = 0
     latency_sum_s: float = 0.0
     max_latency_s: float = 0.0
+    #: Fixed-bucket flush-latency histogram: p50/p95/p99/p999 exact to
+    #: bucket resolution, and mergeable across summaries by bucket
+    #: addition (see :func:`merge_scheduler_summaries`).
+    latency_hist: Histogram = field(default_factory=Histogram)
     #: Host↔device transfer movement (array backend with a metering
     #: module only; zero otherwise — see
     #: :class:`~repro.utils.xp.CountingArrayModule`).
@@ -194,6 +205,7 @@ class SchedulerTelemetry:
         )
         self.latency_sum_s += record.latency_s
         self.max_latency_s = max(self.max_latency_s, record.latency_s)
+        self.latency_hist.observe(record.latency_s)
         if len(self.records) < self.max_records:
             self.records.append(record)
         else:
@@ -237,6 +249,8 @@ class SchedulerTelemetry:
             "mean_latency_s": self.mean_latency_s,
             "max_latency_s": self.max_latency_s,
             "latency_sum_s": self.latency_sum_s,
+            "latency_percentiles": self.latency_hist.quantiles(),
+            "latency_hist": self.latency_hist.to_dict(),
             "records_dropped": self.records_dropped,
             "uploads": self.uploads,
             "upload_bytes": self.upload_bytes,
@@ -253,8 +267,11 @@ def merge_scheduler_summaries(
 
     Long runs (a link sweep, a multi-batch experiment) spin up many
     scheduler instances; this merges their summaries into one — counters
-    add, latency maxima max, and the derived rates are recomputed from
-    the merged counters.  Pass ``accumulated=None`` to start.
+    add, latency maxima max, latency histograms merge by bucket
+    addition, and the derived rates (``deadline_hit_rate``,
+    ``mean_latency_s``, ``latency_percentiles``) are recomputed from the
+    merged counters/buckets, so the result is invariant to fold order.
+    Pass ``accumulated=None`` to start.
 
     A merged dict is itself mergeable (the fold is associative —
     property-tested), and it keeps dead lanes visible: an empty or
@@ -286,6 +303,13 @@ def merge_scheduler_summaries(
         merged["flush_reasons"] = dict(summary.get("flush_reasons", {}))
         merged["max_latency_s"] = summary.get("max_latency_s", 0.0)
         merged["summaries_merged"] = summary.get("summaries_merged", 1)
+        hist_payload = summary.get("latency_hist")
+        if hist_payload is not None:
+            # Round-trip for a defensive copy — the fold must never
+            # share mutable bucket lists with the leaf summary.
+            merged["latency_hist"] = Histogram.from_dict(
+                hist_payload
+            ).to_dict()
     else:
         merged = dict(accumulated)
         for key in counters:
@@ -301,6 +325,19 @@ def merge_scheduler_summaries(
         merged["summaries_merged"] = merged.get(
             "summaries_merged", 1
         ) + summary.get("summaries_merged", 1)
+        base_hist = merged.get("latency_hist")
+        incoming_hist = summary.get("latency_hist")
+        if incoming_hist is not None:
+            if base_hist is not None:
+                merged["latency_hist"] = (
+                    Histogram.from_dict(base_hist)
+                    .merge(Histogram.from_dict(incoming_hist))
+                    .to_dict()
+                )
+            else:
+                merged["latency_hist"] = Histogram.from_dict(
+                    incoming_hist
+                ).to_dict()
     on_time = merged["frames_on_time"]
     late = merged["frames_late"]
     merged["deadline_hit_rate"] = (
@@ -316,6 +353,10 @@ def merge_scheduler_summaries(
         - merged["frames_detected"]
         - merged["frames_shed"]
     )
+    if merged.get("latency_hist") is not None:
+        merged["latency_percentiles"] = Histogram.from_dict(
+            merged["latency_hist"]
+        ).quantiles()
     return merged
 
 
@@ -483,6 +524,12 @@ class StreamingScheduler:
         (``maybe_tick(now)``) once per service loop.
     clock:
         Monotonic time source; injectable for tests.
+    obs:
+        An :class:`~repro.obs.Observability` hub: every flush becomes a
+        ``flush`` span (cell, reason, coherence key, batch size, path
+        budget, latency) and feeds the flush-latency / deadline-margin
+        histograms.  ``None`` falls back to the process-global hub;
+        with no hub at all instrumentation is a shared no-op.
 
     Usage::
 
@@ -505,10 +552,16 @@ class StreamingScheduler:
         counter: FlopCounter = NULL_COUNTER,
         governor=None,
         clock=time.monotonic,
+        obs=None,
     ):
         self.cells = self._normalise_cells(cells)
+        if obs is None:
+            obs = get_global()
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._metrics = obs.metrics if obs is not None else None
         if service is None:
-            self.service = DetectionService(backend)
+            self.service = DetectionService(backend, obs=obs)
             self._owns_service = True
         else:
             self.service = service
@@ -530,6 +583,12 @@ class StreamingScheduler:
                 bind(self.batcher.slot_budget_s)
             elif getattr(governor, "slot_budget_s", False) is None:
                 governor.slot_budget_s = self.batcher.slot_budget_s
+            # Hand the governor a tracer for its tick spans, unless the
+            # caller (build_stack, a test) already attached one.
+            if obs is not None and (
+                getattr(governor, "tracer", NULL_TRACER) is NULL_TRACER
+            ):
+                governor.tracer = obs.tracer
         self.clock = clock
         self.telemetry = SchedulerTelemetry()
         self._queue: "asyncio.Queue | None" = None
@@ -731,6 +790,10 @@ class StreamingScheduler:
     def _shed(self, arrival: FrameArrival, future) -> None:
         """Refuse one arrival on the governor's admission verdict."""
         self.telemetry.frames_shed += arrival.num_frames
+        if self._metrics is not None:
+            self._metrics.counter("repro_frames_shed_total").inc(
+                arrival.num_frames
+            )
         stats = getattr(self.cells[arrival.cell], "stats", None)
         if stats is not None:
             stats.frames_shed += arrival.num_frames
@@ -776,80 +839,125 @@ class StreamingScheduler:
             if self.governor is not None
             else None
         )
+        tracer = self._tracer
         for (noise_var, _frames, _reason), bucket in buckets.items():
             batch = UplinkBatch(
                 channels=np.stack([g.channel for g in bucket]),
                 received=np.stack([g.stacked_received() for g in bucket]),
                 noise_var=noise_var,
             )
-            flushed_s = self.clock()
-            try:
-                result = self.service.detect(
-                    cell.detector,
-                    batch,
-                    cache=cell.cache,
-                    counter=self.counter,
-                    use_soft=self.use_soft,
-                    max_paths=path_budget,
+            if tracer.enabled:
+                # Attribute computation (key hex etc.) only when a real
+                # tracer records — the disabled path stays attribute-free.
+                span_cm = tracer.span(
+                    SPAN_FLUSH,
+                    cell=cell.cell_id,
+                    reason=bucket[0].reason,
+                    subcarriers=len(bucket),
+                    frames=sum(g.frames for g in bucket),
+                    coherence_key=bucket[0].key.hex()[:16],
+                    path_budget=path_budget,
                 )
-            except Exception as error:  # resolve futures, keep serving
-                for group in bucket:
-                    for _, future in group.arrivals:
-                        if not future.done():
-                            future.set_exception(error)
-                continue
-            completed_s = self.clock()
-            record = FlushRecord(
-                cell=cell.cell_id,
-                reason=bucket[0].reason,
-                subcarriers=len(bucket),
-                frames=sum(g.frames for g in bucket),
-                first_arrival_s=min(g.first_arrival_s for g in bucket),
-                flushed_s=flushed_s,
-                completed_s=completed_s,
-                deadline_s=min(g.deadline_s for g in bucket),
-            )
-            frames_on_time = sum(
-                g.frames for g in bucket if completed_s <= g.deadline_s
-            )
-            transfers = result.stats.get("transfers")
-            self.telemetry.record(
-                record,
-                groups=len(bucket),
-                frames_on_time=frames_on_time,
-                transfers=transfers,
-            )
-            if self.governor is not None:
-                self.governor.observe_flush(
-                    cell.cell_id,
+            else:
+                span_cm = tracer.span(SPAN_FLUSH)
+            with span_cm as span:
+                flushed_s = self.clock()
+                try:
+                    result = self.service.detect(
+                        cell.detector,
+                        batch,
+                        cache=cell.cache,
+                        counter=self.counter,
+                        use_soft=self.use_soft,
+                        max_paths=path_budget,
+                    )
+                except Exception as error:  # resolve futures, keep serving
+                    span.set(error=type(error).__name__)
+                    for group in bucket:
+                        for _, future in group.arrivals:
+                            if not future.done():
+                                future.set_exception(error)
+                    continue
+                completed_s = self.clock()
+                record = FlushRecord(
+                    cell=cell.cell_id,
+                    reason=bucket[0].reason,
+                    subcarriers=len(bucket),
+                    frames=sum(g.frames for g in bucket),
+                    first_arrival_s=min(g.first_arrival_s for g in bucket),
+                    flushed_s=flushed_s,
+                    completed_s=completed_s,
+                    deadline_s=min(g.deadline_s for g in bucket),
+                )
+                frames_on_time = sum(
+                    g.frames for g in bucket if completed_s <= g.deadline_s
+                )
+                span.set(
+                    latency_s=record.latency_s,
+                    deadline_met=record.deadline_met,
+                )
+                transfers = result.stats.get("transfers")
+                self.telemetry.record(
                     record,
+                    groups=len(bucket),
                     frames_on_time=frames_on_time,
-                    channel=bucket[0].channel,
-                    noise_var=noise_var,
-                )
-            stats = getattr(cell, "stats", None)
-            if stats is not None:
-                stats.account(
-                    record,
-                    result.stats["cache"],
-                    frames_on_time,
                     transfers=transfers,
                 )
-            for sc, group in enumerate(bucket):
-                offset = 0
-                for arrival, future in group.arrivals:
-                    stop = offset + arrival.num_frames
-                    if not future.done():
-                        future.set_result(
-                            FrameDetection(
-                                indices=result.indices[sc, offset:stop],
-                                llrs=(
-                                    result.llrs[sc, offset:stop]
-                                    if result.llrs is not None
-                                    else None
-                                ),
-                                metadata=result.per_subcarrier_metadata[sc],
-                                flush=record,
+                self._record_flush_metrics(record, frames_on_time)
+                if self.governor is not None:
+                    self.governor.observe_flush(
+                        cell.cell_id,
+                        record,
+                        frames_on_time=frames_on_time,
+                        channel=bucket[0].channel,
+                        noise_var=noise_var,
+                    )
+                stats = getattr(cell, "stats", None)
+                if stats is not None:
+                    stats.account(
+                        record,
+                        result.stats["cache"],
+                        frames_on_time,
+                        transfers=transfers,
+                    )
+                for sc, group in enumerate(bucket):
+                    offset = 0
+                    for arrival, future in group.arrivals:
+                        stop = offset + arrival.num_frames
+                        if not future.done():
+                            future.set_result(
+                                FrameDetection(
+                                    indices=result.indices[sc, offset:stop],
+                                    llrs=(
+                                        result.llrs[sc, offset:stop]
+                                        if result.llrs is not None
+                                        else None
+                                    ),
+                                    metadata=result.per_subcarrier_metadata[
+                                        sc
+                                    ],
+                                    flush=record,
+                                )
                             )
-                        )
-                    offset = stop
+                        offset = stop
+
+    def _record_flush_metrics(self, record: FlushRecord, frames_on_time: int):
+        metrics = self._metrics
+        if metrics is None:
+            return
+        metrics.histogram("repro_flush_latency_seconds").observe(
+            record.latency_s
+        )
+        if math.isfinite(record.deadline_s):
+            # Signed completion-minus-deadline margin: negative = early.
+            metrics.histogram(
+                "repro_deadline_margin_seconds", DEADLINE_MARGIN_EDGES_S
+            ).observe(record.completed_s - record.deadline_s)
+        metrics.counter("repro_flushes_total").inc()
+        metrics.counter("repro_frames_detected_total").inc(record.frames)
+        metrics.counter("repro_frames_late_total").inc(
+            record.frames - frames_on_time
+        )
+        metrics.gauge("repro_deadline_hit_rate").set(
+            self.telemetry.deadline_hit_rate
+        )

@@ -27,6 +27,15 @@ import inspect
 import numpy as np
 
 from repro.errors import ConfigurationError, LinkSimulationError
+from repro.obs import (
+    NULL_TRACER,
+    SPAN_DETECT,
+    SPAN_DOWNLOAD,
+    SPAN_PREPARE,
+    SPAN_UPLOAD,
+    get_global,
+    use_tracer,
+)
 from repro.runtime.backends import (
     ArrayBackend,
     ExecutionBackend,
@@ -187,6 +196,11 @@ class DetectionService:
         ``"serial"`` (default), ``"process-pool"``, ``"array"`` (stacked
         tensor walk), or any pre-built
         :class:`~repro.runtime.backends.ExecutionBackend`.
+    obs:
+        An :class:`~repro.obs.Observability` hub for span tracing and
+        metrics; ``None`` (the default) falls back to the process-global
+        hub (installed by the runner's ``--trace``), and with no hub at
+        all every instrumentation point is a shared no-op.
 
     Notes
     -----
@@ -199,8 +213,15 @@ class DetectionService:
     :meth:`repro.detectors.base.Detector.detect_prepared`.
     """
 
-    def __init__(self, backend: "str | ExecutionBackend" = "serial"):
+    def __init__(
+        self, backend: "str | ExecutionBackend" = "serial", obs=None
+    ):
         self.backend = make_backend(backend)
+        if obs is None:
+            obs = get_global()
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._metrics = obs.metrics if obs is not None else None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -245,16 +266,17 @@ class DetectionService:
                 f"{detector.name} does not produce soft output"
             )
         if isinstance(self.backend, ArrayBackend):
-            return self._detect_array(
-                detector, batch, cache, counter, use_soft, max_paths
-            )
-        if isinstance(self.backend, SerialBackend):
-            return self._detect_serial(
-                detector, batch, cache, counter, use_soft, max_paths
-            )
-        return self._detect_sharded(
-            detector, batch, cache, counter, use_soft, max_paths
-        )
+            method = self._detect_array
+        elif isinstance(self.backend, SerialBackend):
+            method = self._detect_serial
+        else:
+            method = self._detect_sharded
+        if not self._tracer.enabled:
+            return method(detector, batch, cache, counter, use_soft, max_paths)
+        # Make the tracer ambient so deep kernels (the FlexCore QR /
+        # tree-search miss path) can record without being plumbed.
+        with use_tracer(self._tracer):
+            return method(detector, batch, cache, counter, use_soft, max_paths)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -270,8 +292,8 @@ class DetectionService:
                 f"{system.num_streams}"
             )
 
-    @staticmethod
     def _prepare_contexts(
+        self,
         detector,
         batch: UplinkBatch,
         cache: "ContextCache | None",
@@ -292,14 +314,20 @@ class DetectionService:
         """
         if cache is None:
             return None, CacheStats(misses=batch.num_subcarriers)
-        before = cache.stats
-        contexts = cache.get_or_prepare_block(
-            detector, batch.channels, batch.noise_var, counter=counter
-        )
-        return contexts, cache.stats.since(before)
+        with self._tracer.span(
+            SPAN_PREPARE, subcarriers=batch.num_subcarriers
+        ) as span:
+            before = cache.stats
+            contexts = cache.get_or_prepare_block(
+                detector, batch.channels, batch.noise_var, counter=counter
+            )
+            delta = cache.stats.since(before)
+            span.set(cache_hits=delta.hits, cache_misses=delta.misses)
+        self._count_prepare(delta)
+        return contexts, delta
 
-    @staticmethod
     def _prepare_contexts_block(
+        self,
         detector,
         batch: UplinkBatch,
         cache: "ContextCache | None",
@@ -314,15 +342,58 @@ class DetectionService:
         channel at a time.
         """
         if cache is None:
-            contexts = detector.prepare_many(
-                batch.channels, batch.noise_var, counter=counter
+            with self._tracer.span(
+                SPAN_PREPARE, subcarriers=batch.num_subcarriers
+            ) as span:
+                contexts = detector.prepare_many(
+                    batch.channels, batch.noise_var, counter=counter
+                )
+                delta = CacheStats(misses=batch.num_subcarriers)
+                span.set(cache_hits=0, cache_misses=delta.misses)
+            self._count_prepare(delta)
+            return contexts, delta
+        with self._tracer.span(
+            SPAN_PREPARE, subcarriers=batch.num_subcarriers
+        ) as span:
+            before = cache.stats
+            contexts = cache.get_or_prepare_block(
+                detector, batch.channels, batch.noise_var, counter=counter
             )
-            return contexts, CacheStats(misses=batch.num_subcarriers)
-        before = cache.stats
-        contexts = cache.get_or_prepare_block(
-            detector, batch.channels, batch.noise_var, counter=counter
-        )
-        return contexts, cache.stats.since(before)
+            delta = cache.stats.since(before)
+            span.set(cache_hits=delta.hits, cache_misses=delta.misses)
+        self._count_prepare(delta)
+        return contexts, delta
+
+    def _count_prepare(self, delta: CacheStats) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("repro_prepare_cache_hits_total").inc(
+                delta.hits
+            )
+            self._metrics.counter("repro_prepare_cache_misses_total").inc(
+                delta.misses
+            )
+
+    def _record_transfers(self, delta) -> None:
+        """Upload/download instants + byte counters from one
+        :class:`~repro.utils.xp.TransferStats` delta."""
+        if self.obs is None:
+            return
+        if delta.uploads:
+            self._tracer.instant(
+                SPAN_UPLOAD,
+                {"uploads": delta.uploads, "bytes": delta.upload_bytes},
+            )
+            self._metrics.counter("repro_upload_bytes_total").inc(
+                delta.upload_bytes
+            )
+        if delta.downloads:
+            self._tracer.instant(
+                SPAN_DOWNLOAD,
+                {"downloads": delta.downloads, "bytes": delta.download_bytes},
+            )
+            self._metrics.counter("repro_download_bytes_total").inc(
+                delta.download_bytes
+            )
 
     @staticmethod
     def _stats(
@@ -330,15 +401,12 @@ class DetectionService:
     ) -> RuntimeStats:
         """Assemble per-batch stats around one cache snapshot.
 
-        ``cache_hits`` and ``contexts_prepared`` are deprecated aliases
-        of ``stats["cache"].hits`` / ``stats["cache"].misses``; reading
-        them through the returned :class:`RuntimeStats` mapping emits a
-        :class:`DeprecationWarning`.  New code reads the ``"cache"``
-        snapshot.
+        Cache movement lives under the ``"cache"`` key as a
+        :class:`~repro.runtime.cache.CacheStats` snapshot (the flat
+        ``cache_hits`` / ``contexts_prepared`` aliases were deprecated
+        in PR 4/5 and have been removed).
         """
         base["cache"] = delta
-        base["cache_hits"] = delta.hits
-        base["contexts_prepared"] = delta.misses
         if max_paths is not None:
             base["path_budget"] = int(max_paths)
         return RuntimeStats(base)
@@ -380,44 +448,53 @@ class DetectionService:
             or callable(getattr(detector, "detect_soft_block_prepared", None))
         )
         llrs = None
-        if not stacked:
-            # Per-subcarrier fallback: _detect_block owns the (single)
-            # clamp, so cached contexts are never pre-copied here.
-            indices, llrs, metadata = _detect_block(
-                detector,
-                batch.channels,
-                batch.received,
-                batch.noise_var,
-                contexts,
-                counter,
-                use_soft,
-                max_paths,
-            )
-        else:
-            kernel = (
-                detector.detect_soft_block_prepared
-                if use_soft
-                else detector.detect_block_prepared
-            )
-            kwargs = {"counter": counter, "xp": xp}
-            if _kernel_accepts_residency(kernel):
-                kwargs["store"] = store
-                kwargs["max_paths"] = max_paths
-            elif max_paths is not None:
-                # Legacy kernel signature: clamp shallow copies up
-                # front (the cached originals stay untouched).
-                contexts = [
-                    clamp_context_paths(context, max_paths)
-                    for context in contexts
-                ]
-            if use_soft:
-                indices, llrs, metadata = kernel(
-                    contexts, batch.received, batch.noise_var, **kwargs
+        with self._tracer.span(
+            SPAN_DETECT,
+            backend=self.backend.name,
+            stacked=stacked,
+            subcarriers=batch.num_subcarriers,
+            frames=batch.num_frames,
+            path_budget=max_paths,
+        ):
+            if not stacked:
+                # Per-subcarrier fallback: _detect_block owns the
+                # (single) clamp, so cached contexts are never
+                # pre-copied here.
+                indices, llrs, metadata = _detect_block(
+                    detector,
+                    batch.channels,
+                    batch.received,
+                    batch.noise_var,
+                    contexts,
+                    counter,
+                    use_soft,
+                    max_paths,
                 )
             else:
-                indices, metadata = kernel(
-                    contexts, batch.received, **kwargs
+                kernel = (
+                    detector.detect_soft_block_prepared
+                    if use_soft
+                    else detector.detect_block_prepared
                 )
+                kwargs = {"counter": counter, "xp": xp}
+                if _kernel_accepts_residency(kernel):
+                    kwargs["store"] = store
+                    kwargs["max_paths"] = max_paths
+                elif max_paths is not None:
+                    # Legacy kernel signature: clamp shallow copies up
+                    # front (the cached originals stay untouched).
+                    contexts = [
+                        clamp_context_paths(context, max_paths)
+                        for context in contexts
+                    ]
+                if use_soft:
+                    indices, llrs, metadata = kernel(
+                        contexts, batch.received, batch.noise_var, **kwargs
+                    )
+                else:
+                    indices, metadata = kernel(
+                        contexts, batch.received, **kwargs
+                    )
         path_groups = len(
             {
                 min(
@@ -437,7 +514,9 @@ class DetectionService:
             "frames": batch.num_frames,
         }
         if transfers_before is not None:
-            base["transfers"] = xp.transfer_stats().since(transfers_before)
+            transfer_delta = xp.transfer_stats().since(transfers_before)
+            base["transfers"] = transfer_delta
+            self._record_transfers(transfer_delta)
         if resident_before is not None:
             base["resident"] = store.stats.since(resident_before)
         return BatchDetectionResult(
@@ -459,16 +538,23 @@ class DetectionService:
         contexts, delta = self._prepare_contexts(
             detector, batch, cache, counter
         )
-        indices, llrs, metadata = _detect_block(
-            detector,
-            batch.channels,
-            batch.received,
-            batch.noise_var,
-            contexts,
-            counter,
-            use_soft,
-            max_paths,
-        )
+        with self._tracer.span(
+            SPAN_DETECT,
+            backend=self.backend.name,
+            subcarriers=batch.num_subcarriers,
+            frames=batch.num_frames,
+            path_budget=max_paths,
+        ):
+            indices, llrs, metadata = _detect_block(
+                detector,
+                batch.channels,
+                batch.received,
+                batch.noise_var,
+                contexts,
+                counter,
+                use_soft,
+                max_paths,
+            )
         return BatchDetectionResult(
             indices=indices,
             llrs=llrs,
@@ -519,7 +605,15 @@ class DetectionService:
                 )
             )
             start = stop
-        results = self.backend.run(_run_shard, payloads)
+        with self._tracer.span(
+            SPAN_DETECT,
+            backend=self.backend.name,
+            shards=len(shards),
+            subcarriers=batch.num_subcarriers,
+            frames=batch.num_frames,
+            path_budget=max_paths,
+        ):
+            results = self.backend.run(_run_shard, payloads)
         indices = np.concatenate([r[0] for r in results], axis=0)
         llrs = (
             np.concatenate([r[1] for r in results], axis=0)

@@ -1,0 +1,31 @@
+"""Crash-safe file helpers shared across the stack.
+
+Lives in :mod:`repro.utils` so leaf subsystems (``repro.obs``) can use
+atomic persistence without importing the experiments layer.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: "str | Path", text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The bytes land in a ``*.tmp`` sibling first and are moved into
+    place with :func:`os.replace`, so a run killed mid-save leaves
+    either the previous file or the new one — never a truncated,
+    unparseable result.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise

@@ -1,0 +1,175 @@
+"""Properties of the metrics registry: counters, gauges, histograms.
+
+The histogram is the fleet-mergeable latency primitive: fixed bucket
+edges, so merging is elementwise count addition — associative and
+commutative, and a merged histogram is *exactly* the histogram of the
+concatenated samples.  Percentiles read from bucket upper edges, so
+they are conservative (never under-report) and bounded by the bucket
+the true quantile falls in.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEADLINE_MARGIN_EDGES_S,
+    DEFAULT_LATENCY_EDGES_S,
+    Histogram,
+    MetricsRegistry,
+)
+
+samples = st.lists(
+    st.floats(
+        min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False
+    ),
+    max_size=60,
+)
+
+
+def hist_of(values, edges=DEFAULT_LATENCY_EDGES_S):
+    hist = Histogram(edges)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogram:
+    def test_edges_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram([0.1, 0.1, 0.2])
+        with pytest.raises(ConfigurationError):
+            Histogram([])
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=samples, b=samples, c=samples)
+    def test_merge_is_concatenation(self, a, b, c):
+        # ((a + b) + c) merged in any grouping == histogram of a+b+c.
+        left = hist_of(a)
+        left.merge(hist_of(b))
+        left.merge(hist_of(c))
+        right = hist_of(b)
+        right.merge(hist_of(c))
+        right.merge(hist_of(a))
+        everything = hist_of(a + b + c)
+        for merged in (left, right):
+            # Bucket counts (what percentiles read) are exactly the
+            # concatenation's; the float sum only to addition-order.
+            assert merged.counts == everything.counts
+            assert merged.min == everything.min
+            assert merged.max == everything.max
+            assert merged.sum == pytest.approx(everything.sum)
+        assert left.count == len(a) + len(b) + len(c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=samples)
+    def test_percentiles_are_conservative_and_bounded(self, values):
+        hist = hist_of(values)
+        if not values:
+            assert hist.percentile(0.5) == 0.0
+            return
+        for q in (0.5, 0.95, 0.99):
+            estimate = hist.percentile(q)
+            exact = sorted(values)[max(0, math.ceil(q * len(values)) - 1)]
+            # The estimate is the upper edge of the bucket holding the
+            # true quantile: never below it, and no further above it
+            # than the next bucket edge (or the observed max, in the
+            # overflow bucket).
+            assert estimate >= exact or estimate == pytest.approx(exact)
+            edges = [e for e in DEFAULT_LATENCY_EDGES_S if e >= exact]
+            upper = edges[0] if edges else max(values)
+            assert estimate <= upper + 1e-12
+
+    def test_percentile_monotone_in_q(self):
+        hist = hist_of([0.001, 0.004, 0.02, 0.4, 7.0])
+        qs = (0.1, 0.5, 0.9, 0.99, 1.0)
+        estimates = [hist.percentile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = hist_of([15.0, 42.0])  # beyond the last edge (10.0)
+        assert hist.percentile(0.99) == pytest.approx(42.0)
+
+    def test_merge_rejects_mismatched_edges(self):
+        with pytest.raises(ConfigurationError):
+            Histogram([1.0, 2.0]).merge(Histogram([1.0, 3.0]))
+
+    def test_round_trips_through_dict(self):
+        hist = hist_of([0.002, 0.3], DEADLINE_MARGIN_EDGES_S)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.quantiles() == hist.quantiles()
+
+    def test_signed_margin_edges_cover_early_and_late(self):
+        hist = Histogram(DEADLINE_MARGIN_EDGES_S)
+        hist.observe(-0.004)  # early
+        hist.observe(0.0025)  # late
+        assert hist.count == 2
+        assert hist.min < 0 < hist.max
+
+
+class TestRegistry:
+    def test_counters_accumulate_and_reject_negatives(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_frames_detected_total").inc(3)
+        registry.counter("repro_frames_detected_total").inc()
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_frames_detected_total").inc(-1)
+        text = registry.prometheus_text()
+        assert "repro_frames_detected_total 4.0" in text
+
+    def test_name_and_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            registry.counter("not a metric name")
+        registry.histogram("repro_lat_seconds")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_lat_seconds", edges=[1.0, 2.0])
+
+    def test_prometheus_histogram_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds", edges=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        lines = registry.prometheus_text().splitlines()
+        assert "# TYPE repro_lat_seconds histogram" in lines
+        assert 'repro_lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_lat_seconds_bucket{le="1.0"} 2' in lines
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert any(
+            line.startswith("repro_lat_seconds_count 3") for line in lines
+        )
+
+    def test_drain_resets_counters_and_histograms_not_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_flushes_total").inc(2)
+        registry.gauge("repro_deadline_hit_rate").set(0.75)
+        registry.histogram("repro_lat_seconds").observe(0.01)
+        payload = registry.drain()
+        assert payload["counters"]["repro_flushes_total"] == 2
+        assert payload["gauges"]["repro_deadline_hit_rate"] == 0.75
+        # Counters and histogram buckets restart; the gauge holds.
+        second = registry.drain()
+        assert second["counters"]["repro_flushes_total"] == 0
+        assert sum(second["histograms"]["repro_lat_seconds"]["counts"]) == 0
+        assert second["gauges"]["repro_deadline_hit_rate"] == 0.75
+
+    def test_merge_dict_folds_drained_deltas(self):
+        source = MetricsRegistry()
+        source.counter("repro_flushes_total").inc(5)
+        source.histogram("repro_lat_seconds").observe(0.3)
+        sink = MetricsRegistry()
+        sink.counter("repro_flushes_total").inc(1)
+        sink.merge_dict(source.drain())
+        sink.merge_dict(source.drain())  # second delta is empty
+        text = sink.prometheus_text()
+        assert "repro_flushes_total 6.0" in text
+        assert "repro_lat_seconds_count 1" in text

@@ -1,0 +1,179 @@
+"""The span tracer: nesting, ring-buffer bounds, merge, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EVENT_WORKER_RESTART,
+    NULL_TRACER,
+    SPAN_DETECT,
+    SPAN_FLUSH,
+    SPAN_PREPARE,
+    WORKER_PID_BASE,
+    Observability,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic seconds clock the tests can step explicitly."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpans:
+    def test_complete_event_shape(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span(SPAN_DETECT, backend="serial") as span:
+            clock.tick(0.002)
+            span.set(frames=7)
+        (event,) = tracer.events
+        assert event["name"] == SPAN_DETECT
+        assert event["ph"] == "X"
+        assert event["ts"] == 0.0
+        assert event["dur"] == pytest.approx(2000.0)  # microseconds
+        assert event["pid"] == 1 and event["tid"] == 1
+        assert event["args"] == {"backend": "serial", "frames": 7}
+
+    def test_nested_spans_record_parent_and_depth(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span(SPAN_FLUSH):
+            with tracer.span(SPAN_DETECT):
+                with tracer.span(SPAN_PREPARE):
+                    clock.tick(0.001)
+        prepare, detect, flush = tracer.events  # exit order: inner first
+        assert flush["args"] == {}
+        assert detect["args"] == {"parent": SPAN_FLUSH, "depth": 1}
+        assert prepare["args"] == {"parent": SPAN_DETECT, "depth": 2}
+        # Children nest inside the parent's [ts, ts+dur) interval.
+        assert flush["ts"] <= detect["ts"]
+        assert detect["ts"] + detect["dur"] <= flush["ts"] + flush["dur"]
+
+    def test_attributes_survive_exceptions(self, clock):
+        tracer = Tracer(clock=clock)
+        with pytest.raises(ValueError):
+            with tracer.span(SPAN_FLUSH, cell="cell-0") as span:
+                span.set(error="ValueError")
+                raise ValueError("boom")
+        (event,) = tracer.events
+        assert event["args"]["error"] == "ValueError"
+        assert not tracer._stack  # the nesting stack unwound
+
+    def test_ring_buffer_drops_oldest_and_counts(self, clock):
+        tracer = Tracer(max_events=3, clock=clock)
+        for index in range(5):
+            tracer.instant(f"marker_{index}")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [e["name"] for e in tracer.events] == [
+            "marker_2",
+            "marker_3",
+            "marker_4",
+        ]
+
+    def test_max_events_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_events=0)
+
+
+class TestMergeAndExport:
+    def test_drain_empties_the_buffer(self, clock):
+        tracer = Tracer(clock=clock)
+        tracer.instant("a")
+        assert [e["name"] for e in tracer.drain()] == ["a"]
+        assert tracer.events == []
+
+    def test_extend_restamps_worker_lane(self, clock):
+        worker = Tracer(clock=clock)
+        with worker.span(SPAN_DETECT):
+            clock.tick(0.001)
+        main = Tracer(clock=clock)
+        main.extend(worker.drain(), pid=WORKER_PID_BASE + 1)
+        (event,) = main.events
+        assert event["pid"] == WORKER_PID_BASE + 1
+        assert event["name"] == SPAN_DETECT
+
+    def test_chrome_payload_sorted_with_process_names(self, clock, tmp_path):
+        tracer = Tracer(clock=clock)
+        tracer.set_process_name(1, "main")
+        tracer.set_process_name(WORKER_PID_BASE, "worker-0")
+        # Parent X events append after children: the raw buffer is not
+        # timestamp-ordered, the exported payload must be (per lane).
+        with tracer.span(SPAN_FLUSH):
+            clock.tick(0.001)
+            with tracer.span(SPAN_DETECT):
+                clock.tick(0.001)
+        tracer.instant(EVENT_WORKER_RESTART, pid=WORKER_PID_BASE)
+        payload = tracer.chrome_payload()
+        assert payload["displayTimeUnit"] == "ms"
+        metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in metas] == ["main", "worker-0"]
+        lanes: dict = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+            lanes.setdefault((event["pid"], event["tid"]), []).append(
+                event["ts"]
+            )
+        for stamps in lanes.values():
+            assert stamps == sorted(stamps)
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        assert json.loads(path.read_text()) == payload
+
+
+class TestAmbientTracer:
+    def test_defaults_to_null(self):
+        assert current_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_use_tracer_scopes_and_restores(self, clock):
+        tracer = Tracer(clock=clock)
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with current_tracer().span(SPAN_PREPARE):
+                clock.tick(0.001)
+        assert current_tracer() is NULL_TRACER
+        assert [e["name"] for e in tracer.events] == [SPAN_PREPARE]
+
+    def test_null_tracer_span_is_shared_noop(self):
+        span = NULL_TRACER.span(SPAN_DETECT, anything=1)
+        with span as inner:
+            inner.set(more=2)
+        assert span is NULL_TRACER.span(SPAN_FLUSH)
+
+
+class TestObservabilityHub:
+    def test_hub_bundles_tracer_and_metrics(self, tmp_path):
+        obs = Observability(max_events=16)
+        with obs.tracer.span(SPAN_DETECT):
+            pass
+        obs.metrics.counter("repro_flushes_total").inc()
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        obs.export_trace(trace_path)
+        obs.dump_metrics(metrics_path)
+        payload = json.loads(trace_path.read_text())
+        assert any(
+            e["name"] == SPAN_DETECT for e in payload["traceEvents"]
+        )
+        assert "repro_flushes_total 1.0" in metrics_path.read_text()

@@ -93,12 +93,10 @@ class TestPerCellCacheIsolation:
             )
             assert farm[cell_id].stats.cache.misses == 1
             assert farm[cell_id].stats.cache.hits == 1
-            # The flat pre-snapshot aliases still read correctly but
-            # deprecation-warn with the migration target.
-            with pytest.warns(DeprecationWarning, match="cache.misses"):
-                assert farm[cell_id].stats.contexts_prepared == 1
-            with pytest.warns(DeprecationWarning, match="cache.hits"):
-                assert farm[cell_id].stats.cache_hits == 1
+            # The flat pre-snapshot aliases are gone: the snapshot is
+            # the only cache-stats surface.
+            assert not hasattr(farm[cell_id].stats, "contexts_prepared")
+            assert not hasattr(farm[cell_id].stats, "cache_hits")
 
     def test_one_cells_churn_cannot_evict_neighbour(self, system, rng):
         detector = FlexCoreDetector(system, num_paths=8)

@@ -120,18 +120,14 @@ class TestCacheStatsContract:
         assert second.stats["cache"].hits == batch.num_subcarriers
         assert second.stats["cache"].entries == batch.num_subcarriers
 
-    def test_deprecated_aliases_match_snapshot_and_warn(
-        self, detector, system, rng
-    ):
+    def test_deprecated_aliases_removed(self, detector, system, rng):
         batch = make_batch(system, rng)
         result = BatchedUplinkEngine(detector).detect_batch(batch)
-        snapshot = result.stats["cache"]
-        with pytest.warns(DeprecationWarning, match="cache"):
-            assert result.stats["cache_hits"] == snapshot.hits
-        with pytest.warns(DeprecationWarning, match="cache"):
-            assert result.stats["contexts_prepared"] == snapshot.misses
-        with pytest.warns(DeprecationWarning, match="cache"):
-            assert result.stats.get("cache_hits") == snapshot.hits
+        # The flat pre-snapshot aliases were removed after their
+        # deprecation cycle: the snapshot is the only surface.
+        assert "cache_hits" not in result.stats
+        assert "contexts_prepared" not in result.stats
+        assert result.stats.get("cache_hits") is None
 
     def test_snapshot_reads_do_not_warn(self, detector, system, rng):
         import warnings
