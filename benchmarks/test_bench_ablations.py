@@ -1,6 +1,5 @@
 """Ablation benches for the design choices DESIGN.md calls out."""
 
-import pytest
 
 from repro.experiments import ablations
 from repro.flexcore.detector import FlexCoreDetector

@@ -4,7 +4,6 @@ Not a paper artefact per se, but the foundation under Figs. 9-12: the
 relative per-vector cost of each scheme at a fixed batch size.
 """
 
-import pytest
 
 from repro.detectors.fcsd import FcsdDetector
 from repro.detectors.kbest import KBestDetector

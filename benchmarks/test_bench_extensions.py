@@ -2,7 +2,6 @@
 lattice reduction, mobility-driven pre-processing duty cycle)."""
 
 import numpy as np
-import pytest
 
 from repro.channel.doppler import coherence_frames
 from repro.channel.fading import rayleigh_channel

@@ -1,6 +1,5 @@
 """Fig. 10 regeneration bench: user sweep with a-FlexCore."""
 
-import pytest
 
 from repro.experiments import fig10
 from repro.experiments.linkruns import (

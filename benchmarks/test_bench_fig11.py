@@ -1,8 +1,6 @@
 """Fig. 11 regeneration bench: the GPU speedup model sweep."""
 
 from repro.experiments import fig11
-from repro.mimo.system import MimoSystem
-from repro.modulation.constellation import QamConstellation
 from repro.parallel.gpu import CpuOpenMpModel, GpuExecutionModel
 
 

@@ -1,6 +1,5 @@
 """Fig. 12 regeneration bench: LTE latency feasibility + SNR-loss table."""
 
-import pytest
 
 from repro.experiments import fig12
 from repro.experiments.snr_loss import build_snr_loss_table

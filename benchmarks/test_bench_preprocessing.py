@@ -4,7 +4,6 @@ Times the promising-path tree search against the QR decomposition it
 piggybacks on, across PE counts and batch-expansion sizes.
 """
 
-import numpy as np
 import pytest
 
 from repro.channel.fading import rayleigh_channel

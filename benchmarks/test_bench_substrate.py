@@ -4,16 +4,16 @@ link-level experiments (PER Monte-Carlo cost is dominated by these)."""
 import numpy as np
 import pytest
 
+from repro.channel.fading import rayleigh_channel
 from repro.coding.convolutional import ConvolutionalCode
 from repro.coding.interleaver import BlockInterleaver
 from repro.coding.viterbi import ViterbiDecoder
+from repro.flexcore.detector import FlexCoreDetector
 from repro.link.channels import rayleigh_sampler
 from repro.link.config import LinkConfig
 from repro.link.simulation import simulate_link
-from repro.flexcore.detector import FlexCoreDetector
 from repro.mimo.qr import sorted_qr
 from repro.mimo.system import MimoSystem
-from repro.channel.fading import rayleigh_channel
 from repro.modulation.constellation import QamConstellation
 from repro.ofdm.modem import OfdmModem
 from repro.ofdm.params import WIFI_20MHZ

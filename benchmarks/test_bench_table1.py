@@ -4,7 +4,6 @@ Times the instrumented depth-first sphere decoding that produces the
 GFLOPS column, and regenerates the full table once at the tiny profile.
 """
 
-import pytest
 
 from repro.experiments import table1
 from repro.mimo.system import MimoSystem

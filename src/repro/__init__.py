@@ -19,6 +19,24 @@ Quickstart::
 See ``examples/quickstart.py`` for the full loop.
 """
 
+from repro.api import (
+    BackendSpec,
+    CacheSpec,
+    DetectorSpec,
+    FarmSpec,
+    GovernorSpec,
+    SchedulerSpec,
+    StackConfig,
+    UplinkStack,
+    build_stack,
+)
+from repro.control import (
+    AimdPolicy,
+    ComputeGovernor,
+    SnrAwarePolicy,
+    StaticPolicy,
+    WorkloadScenario,
+)
 from repro.detectors import (
     DetectionResult,
     Detector,
@@ -43,24 +61,6 @@ from repro.flexcore import (
 from repro.mimo import MimoSystem
 from repro.modulation import QamConstellation
 from repro.runtime import BatchedUplinkEngine, UplinkBatch
-from repro.control import (
-    AimdPolicy,
-    ComputeGovernor,
-    SnrAwarePolicy,
-    StaticPolicy,
-    WorkloadScenario,
-)
-from repro.api import (
-    BackendSpec,
-    CacheSpec,
-    DetectorSpec,
-    FarmSpec,
-    GovernorSpec,
-    SchedulerSpec,
-    StackConfig,
-    UplinkStack,
-    build_stack,
-)
 
 __version__ = "1.2.0"
 

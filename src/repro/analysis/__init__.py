@@ -1,0 +1,64 @@
+"""Repo-native static analysis: the invariants tests cannot see.
+
+The stack holds three classes of invariant purely by convention — the
+asyncio scheduler must never block the event loop inside a flush path,
+the FlexCore kernels must stay bit-identical across serial/array/block
+paths (which unordered iteration and global RNG silently break), and
+the farm protocol must stay JSON-native so it can ride a socket to
+another host.  The hypothesis pins catch the *regressions* these
+hazards cause; this package catches the hazards themselves, at CI
+time, before a test runs.
+
+Five rules (see ``python -m repro.analysis --list-rules``):
+
+========  =================  =============================================
+REP001    async-blocking     blocking calls reachable from ``async def``
+REP002    kernel-determinism unordered iteration / legacy global RNG
+REP003    spec-drift         spec dataclass fields vs to_dict/from_dict
+REP004    protocol-json      farm messages JSON-native + REPLY_FOR-paired
+REP005    obs-catalogue      span/metric names declared in ``repro.obs``
+========  =================  =============================================
+
+Reviewed exceptions live in ``.analysis-baseline.json`` — every entry
+carries a one-line justification and matches on source *content*, so a
+suppression cannot silently outlive the line it reviewed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import (
+    REGISTRY,
+    Checker,
+    ImportMap,
+    ModuleSource,
+    all_checkers,
+    register,
+)
+from repro.analysis.baseline import BASELINE_FILENAME, Baseline, Suppression
+from repro.analysis.findings import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    AnalysisReport,
+    Finding,
+)
+from repro.analysis.runner import main, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "BASELINE_FILENAME",
+    "Baseline",
+    "Checker",
+    "Finding",
+    "ImportMap",
+    "ModuleSource",
+    "REGISTRY",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Suppression",
+    "all_checkers",
+    "main",
+    "register",
+    "run_analysis",
+]

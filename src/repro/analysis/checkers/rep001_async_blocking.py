@@ -1,0 +1,190 @@
+"""REP001: blocking calls reachable from ``async def`` bodies.
+
+The streaming scheduler runs flush dispatch *on* the asyncio event
+loop — one stray ``time.sleep`` or synchronous pipe ``recv`` on that
+path stalls every cell's deadline clock at once, silently eating the
+500 µs LTE slot budget.  This rule walks each module's call graph from
+its ``async def`` roots through module-local synchronous helpers
+(``self._dispatch`` -> ``self._dispatch_cell`` ...) and flags the
+blocking primitives it can prove:
+
+* ``time.sleep`` (including ``from time import sleep``);
+* anything in :mod:`subprocess`, plus ``os.system`` / ``os.popen`` /
+  ``os.wait*`` — process round-trips on the loop;
+* the builtin ``open`` — synchronous file I/O;
+* method calls spelled ``.result()`` / ``.recv()`` / ``.recv_bytes()``
+  and zero-argument ``.join()`` — the blocking surface of
+  ``concurrent.futures``, pipes/sockets and threads.
+
+Calls that are ``await``-ed are exempt (``await asyncio.sleep`` is the
+fix, not a finding).  Method-name matches are heuristic by design: a
+non-blocking ``.result()`` (``asyncio.Task.result`` on a completed
+task, say) is exactly what a reviewed baseline suppression is for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleSource, register
+
+#: ``module.func`` origins that block the calling thread.
+_BLOCKING_ORIGINS = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "socket.create_connection",
+}
+
+#: Module prefixes where *every* call blocks.
+_BLOCKING_MODULES = ("subprocess",)
+
+#: Method names whose call spells a synchronous wait.
+_BLOCKING_METHODS = {"result", "recv", "recv_bytes"}
+
+_HINT = (
+    "use `await asyncio.sleep(...)`, or push the call off the loop via "
+    "`loop.run_in_executor(...)`"
+)
+
+
+def _function_table(tree: ast.Module) -> dict:
+    """``(class_name or "", func_name) -> def node`` for this module."""
+    table = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table[("", node.name)] = node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    table[(node.name, item.name)] = item
+    return table
+
+
+def _iter_body_calls(func) -> "list[tuple[ast.Call, bool]]":
+    """``(call, awaited)`` pairs in ``func``'s body, not descending into
+    nested function/lambda definitions (those run on their own call)."""
+    calls = []
+
+    def visit(node):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Await) and isinstance(
+                child.value, ast.Call
+            ):
+                calls.append((child.value, True))
+                visit(child.value)
+                continue
+            if isinstance(child, ast.Call):
+                calls.append((child, False))
+            visit(child)
+
+    for statement in func.body:
+        visit(statement)
+    return calls
+
+
+@register
+class AsyncBlockingChecker(Checker):
+    rule = "REP001"
+    name = "async-blocking"
+    description = (
+        "blocking calls (time.sleep, subprocess, sync pipe/file I/O, "
+        "Future.result) reachable from async def bodies"
+    )
+
+    def check(self, module: ModuleSource):
+        table = _function_table(module.tree)
+        roots = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.AsyncFunctionDef)
+        ]
+        for root in roots:
+            yield from self._check_root(module, table, root)
+
+    # ------------------------------------------------------------------
+    def _check_root(self, module: ModuleSource, table: dict, root):
+        owner = self._owner_class(module.tree, root)
+        visited = set()
+        stack = [(root, owner, ())]
+        while stack:
+            func, cls, chain = stack.pop()
+            key = (cls, func.name)
+            if key in visited:
+                continue
+            visited.add(key)
+            for call, awaited in _iter_body_calls(func):
+                if awaited:
+                    continue  # `await x()` suspends, it does not block
+                finding = self._blocking_finding(module, call, root, chain)
+                if finding is not None:
+                    yield finding
+                    continue
+                callee = self._local_callee(table, call, cls)
+                if callee is not None:
+                    callee_cls, callee_func = callee
+                    stack.append(
+                        (callee_func, callee_cls, chain + (callee_func.name,))
+                    )
+
+    @staticmethod
+    def _owner_class(tree: ast.Module, func) -> str:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and func in node.body:
+                return node.name
+        return ""
+
+    @staticmethod
+    def _local_callee(table: dict, call: ast.Call, cls: str):
+        """Resolve a call to a module-local function/method, if any."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            node = table.get(("", func.id))
+            if node is not None:
+                return ("", node)
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and cls
+        ):
+            node = table.get((cls, func.attr))
+            if node is not None:
+                return (cls, node)
+        return None
+
+    def _blocking_finding(self, module: ModuleSource, call, root, chain):
+        origin = module.imports.resolve_call(call)
+        label = None
+        if origin is not None:
+            if origin in _BLOCKING_ORIGINS:
+                label = origin
+            elif origin.split(".")[0] in _BLOCKING_MODULES:
+                label = origin
+        elif isinstance(call.func, ast.Name) and call.func.id == "open":
+            label = "open"
+        elif isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in _BLOCKING_METHODS or (
+                attr == "join" and not call.args and not call.keywords
+            ):
+                label = f".{attr}"
+        if label is None:
+            return None
+        via = (
+            " via " + " -> ".join(chain) if chain else ""
+        )
+        return module.finding(
+            self.rule,
+            f"blocking call {label}() reachable from "
+            f"`async def {root.name}`{via} — it stalls the event loop "
+            "and every pending slot deadline with it",
+            node=call,
+            fix_hint=_HINT,
+        )

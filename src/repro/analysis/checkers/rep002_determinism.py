@@ -1,0 +1,149 @@
+"""REP002: determinism hazards in kernel and runtime code.
+
+The FlexCore kernels are pinned **bit-identical** across the
+serial/array/block paths — the hypothesis equivalence suites catch a
+divergence only *after* it lands.  The two classic ways a refactor
+introduces one are (a) iterating an unordered ``set`` where the
+iteration order feeds arithmetic (float accumulation order changes the
+bits) and (b) reaching for the legacy global RNG (``np.random.rand``,
+``random.random``) instead of a seeded ``Generator`` threaded through
+the call.  This rule flags both at the AST level:
+
+* ``for ... in <set>`` loops and comprehension generators over set
+  literals, ``set(...)``/``frozenset(...)`` calls or set comprehensions;
+* ``sum`` / ``math.fsum`` / ``np.sum`` applied directly to a set — an
+  unordered float reduction;
+* any call into ``numpy.random.*`` other than constructing a seeded
+  generator (``default_rng``, ``Generator``, ``SeedSequence``, bit
+  generators), and any call into the stdlib ``random`` module other
+  than constructing a ``Random``/``SystemRandom`` instance.
+
+Where set iteration is genuinely order-free (building another set,
+membership bookkeeping), prefer ``sorted(...)`` anyway — it documents
+the intent and costs nothing off the hot path — or add a justified
+baseline suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleSource, register
+
+#: ``numpy.random`` members that *are* the seeded-generator idiom.
+_SEEDED_RNG = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: stdlib ``random`` members that construct an explicit instance.
+_RANDOM_OK = {"Random", "SystemRandom", "getstate", "setstate"}
+
+_UNORDERED_REDUCTIONS = {"sum", "math.fsum", "numpy.sum"}
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "REP002"
+    name = "kernel-determinism"
+    description = (
+        "unordered set iteration feeding arithmetic and legacy global "
+        "RNG use (np.random.*, random.*) instead of seeded Generators"
+    )
+
+    def check(self, module: ModuleSource):
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                node.iter
+            ):
+                yield module.finding(
+                    self.rule,
+                    "iteration order over a set is undefined — any "
+                    "arithmetic fed by this loop is not reproducible "
+                    "bit-for-bit",
+                    node=node.iter,
+                    fix_hint="iterate `sorted(...)` (or an ordered "
+                    "container) so the reduction order is pinned",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield module.finding(
+                            self.rule,
+                            "comprehension iterates a set — element "
+                            "order (and any arithmetic built from it) "
+                            "is undefined",
+                            node=generator.iter,
+                            fix_hint="wrap the iterable in `sorted(...)`",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_call(self, module: ModuleSource, call: ast.Call):
+        origin = module.imports.resolve_call(call)
+        reduction = None
+        if origin in _UNORDERED_REDUCTIONS:
+            reduction = origin
+        elif isinstance(call.func, ast.Name) and call.func.id == "sum":
+            reduction = "sum"
+        if (
+            reduction is not None
+            and call.args
+            and _is_set_expr(call.args[0])
+        ):
+            yield module.finding(
+                self.rule,
+                f"{reduction}() over a set accumulates in undefined "
+                "order — float reductions change bits between runs",
+                node=call,
+                fix_hint="reduce over `sorted(...)` instead",
+            )
+        if origin is None:
+            return
+        parts = origin.split(".")
+        if (
+            len(parts) >= 3
+            and parts[0] == "numpy"
+            and parts[1] == "random"
+            and parts[2] not in _SEEDED_RNG
+        ):
+            yield module.finding(
+                self.rule,
+                f"legacy global numpy RNG call {origin}() — hidden "
+                "process-wide state breaks seeded reproducibility and "
+                "the bit-identity pins",
+                node=call,
+                fix_hint="thread a seeded np.random.default_rng(seed) "
+                "Generator through the call instead",
+            )
+        elif (
+            len(parts) >= 2
+            and parts[0] == "random"
+            and parts[1] not in _RANDOM_OK
+        ):
+            yield module.finding(
+                self.rule,
+                f"stdlib global RNG call {origin}() — hidden "
+                "process-wide state breaks seeded reproducibility",
+                node=call,
+                fix_hint="use a seeded np.random.default_rng(seed) (or "
+                "an explicit random.Random(seed) instance)",
+            )

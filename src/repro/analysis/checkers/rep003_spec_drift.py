@@ -1,0 +1,181 @@
+"""REP003: spec dataclasses must round-trip every field, strictly.
+
+The config-first API (``repro.api.specs``) rests on one contract:
+``from_dict(to_dict(spec)) == spec`` for every frozen spec dataclass,
+with unknown keys rejected so a config file cannot silently
+misconfigure a stack.  The hazard is *drift* — a new field added to the
+dataclass but forgotten in ``to_dict`` serializes configs that lose the
+field on round-trip, and a lenient ``from_dict`` hides the mistake
+forever.
+
+This rule is **import-and-inspect, not just AST**: for every
+``@dataclass`` that defines both ``to_dict`` and ``from_dict``,
+
+* the field list comes from :func:`dataclasses.fields` on the *imported*
+  class when the module imports cleanly (AST-declared fields as the
+  fallback), so inherited fields count;
+* every field must appear as a literal key of the dict ``to_dict``
+  returns (and every key must be a field — no phantom keys);
+* ``cls.from_dict({<unknown key>: ...})`` is actually *called* and must
+  raise — a from_dict that silently accepts an unknown key is a
+  finding, not a style nit.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.analysis.base import Checker, ModuleSource, register
+
+_PROBE_KEY = "__repro_analysis_unknown_key_probe__"
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _method(node: ast.ClassDef, name: str):
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _ast_field_names(node: ast.ClassDef) -> "list[str]":
+    """Class-body annotated assignments (the AST fallback field list)."""
+    names = []
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(
+            item.target, ast.Name
+        ):
+            annotation = ast.unparse(item.annotation)
+            if "ClassVar" in annotation:
+                continue
+            names.append(item.target.id)
+    return names
+
+
+def _literal_dict_keys(func: ast.FunctionDef) -> "set | None":
+    """String keys of dict literals returned by ``func``.
+
+    Returns ``None`` when any return value is not a dict literal (e.g.
+    ``return asdict(self)`` — complete by construction, nothing to
+    diff).
+    """
+    keys: set = set()
+    saw_dict = False
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        saw_dict = True
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+            else:
+                return None  # computed/spread keys: cannot prove coverage
+    return keys if saw_dict else None
+
+
+@register
+class SpecDriftChecker(Checker):
+    rule = "REP003"
+    name = "spec-drift"
+    description = (
+        "every field of a to_dict/from_dict dataclass appears in its "
+        "serialized form, and from_dict rejects unknown keys (verified "
+        "by import and call, not just AST)"
+    )
+
+    def check(self, module: ModuleSource):
+        specs = [
+            node
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+            and _is_dataclass_decorated(node)
+            and _method(node, "to_dict") is not None
+            and _method(node, "from_dict") is not None
+        ]
+        if not specs:
+            return
+        imported = module.import_module()
+        for node in specs:
+            yield from self._check_class(module, node, imported)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, module: ModuleSource, node: ast.ClassDef, imported):
+        cls = getattr(imported, node.name, None) if imported else None
+        if cls is not None and dataclasses.is_dataclass(cls):
+            field_names = [f.name for f in dataclasses.fields(cls)]
+        else:
+            field_names = _ast_field_names(node)
+        to_dict = _method(node, "to_dict")
+        keys = _literal_dict_keys(to_dict)
+        if keys is not None:
+            for name in field_names:
+                if name not in keys:
+                    yield module.finding(
+                        self.rule,
+                        f"{node.name}.{name} is a dataclass field but "
+                        "never a to_dict key — the field drops on "
+                        "serialize and from_dict(to_dict(spec)) loses it",
+                        node=to_dict,
+                        fix_hint=f'add "{name}" to the returned dict '
+                        "(and thread it through from_dict)",
+                    )
+            for key in sorted(keys - set(field_names)):
+                yield module.finding(
+                    self.rule,
+                    f'{node.name}.to_dict emits key "{key}" that is '
+                    "not a dataclass field — from_dict cannot "
+                    "round-trip it",
+                    node=to_dict,
+                    fix_hint="drop the key or add the field",
+                )
+        yield from self._check_unknown_key_rejection(module, node, cls)
+
+    def _check_unknown_key_rejection(self, module, node: ast.ClassDef, cls):
+        from_dict = _method(node, "from_dict")
+        if cls is not None:
+            try:
+                result = cls.from_dict({_PROBE_KEY: None})
+            except Exception:
+                return  # rejected — the strict contract holds
+            yield module.finding(
+                self.rule,
+                f"{node.name}.from_dict silently accepted an unknown "
+                f"key (returned {type(result).__name__}) — a typo'd "
+                "config field would be dropped instead of rejected",
+                node=from_dict,
+                fix_hint="validate the payload against the field set "
+                "and raise ConfigurationError on unknown keys",
+            )
+            return
+        # Unimportable module: fall back to the AST signal — the shared
+        # strict-guard idiom is a call to *_check_unknown_keys*.
+        for call in ast.walk(from_dict):
+            if isinstance(call, ast.Call):
+                name = (
+                    call.func.id
+                    if isinstance(call.func, ast.Name)
+                    else getattr(call.func, "attr", "")
+                )
+                if "unknown" in name:
+                    return
+        yield module.finding(
+            self.rule,
+            f"{node.name}.from_dict shows no unknown-key guard (module "
+            "not importable for a live probe)",
+            node=from_dict,
+            severity="warning",
+            fix_hint="route the payload through the shared "
+            "_check_unknown_keys guard",
+        )

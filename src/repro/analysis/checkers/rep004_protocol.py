@@ -1,0 +1,298 @@
+"""REP004: farm protocol messages stay JSON-native and REPLY_FOR-paired.
+
+The coordinator <-> worker protocol is JSON-native dicts *by design* so
+the same messages can ride a socket to another host (the RaPro /
+decentralized-baseband direction).  Nothing enforces that today: one
+numpy scalar in a chunk reply, or one ``MSG_*`` send without a
+``REPLY_FOR`` pairing, and the future socket transport breaks at the
+first frame.  For every module that speaks the protocol (defines or
+imports ``MSG_*`` constants), this rule checks:
+
+* **pairing** — a module declaring ``MSG_*`` constants and a
+  ``REPLY_FOR`` map must place every message as a command (key), a
+  reply (value) or an explicitly declared ``UNPAIRED_MESSAGES`` entry
+  (the spawn handshake and the error report);
+* **send sites** — every ``{"type": ...}`` message literal must name a
+  ``MSG_*`` constant (not a bare string) that resolves into the
+  protocol's pairing table;
+* **JSON-safety** — message literals must hold only JSON-native values:
+  no bytes/complex constants, no set literals, no non-string dict keys,
+  and no direct ``np.*`` calls in the payload;
+* **round-trip (import-and-call)** — when the module defines the
+  scenario payload codec, a sample scenario is actually pushed through
+  ``json.dumps`` and back and must compare equal.
+
+``MSG_*`` constants imported from another module resolve by importing
+that module, so ``worker.py`` send sites are checked against the real
+``protocol.REPLY_FOR``.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import json
+
+from repro.analysis.base import Checker, ModuleSource, register
+
+_JSON_LEAF_TYPES = (str, int, float, bool, type(None))
+
+
+def _local_msg_constants(tree: ast.Module) -> dict:
+    """Module-level ``MSG_X = "literal"`` assignments."""
+    constants = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id.startswith("MSG_")
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                constants[target.id] = node.value.value
+    return constants
+
+
+def _imported_protocol_names(module: ModuleSource) -> dict:
+    """``MSG_*`` (and pairing-table) names imported from elsewhere,
+    resolved to live values by importing the origin module."""
+    resolved = {}
+    modules = {}
+    for name, (origin, original) in module.imports.names.items():
+        if not (
+            name.startswith("MSG_")
+            or name in ("REPLY_FOR", "UNPAIRED_MESSAGES")
+        ):
+            continue
+        if origin not in modules:
+            try:
+                modules[origin] = importlib.import_module(origin)
+            except Exception:
+                modules[origin] = None
+        mod = modules[origin]
+        if mod is not None and hasattr(mod, original):
+            resolved[name] = getattr(mod, original)
+    return resolved
+
+
+def _name_env(module: ModuleSource) -> "tuple[dict, dict, set]":
+    """``(messages, reply_for, unpaired)`` visible in this module."""
+    messages = dict(_local_msg_constants(module.tree))
+    imported = _imported_protocol_names(module)
+    for name, value in imported.items():
+        if name.startswith("MSG_") and isinstance(value, str):
+            messages[name] = value
+    reply_for = {}
+    unpaired = set()
+    # Local literal REPLY_FOR / UNPAIRED_MESSAGES declarations.
+    for node in module.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if target.id == "REPLY_FOR" and isinstance(node.value, ast.Dict):
+            for key, value in zip(node.value.keys, node.value.values):
+                key_name = _resolve_message(key, messages)
+                value_name = _resolve_message(value, messages)
+                if key_name is not None and value_name is not None:
+                    reply_for[key_name] = value_name
+        elif target.id == "UNPAIRED_MESSAGES" and isinstance(
+            node.value, (ast.Tuple, ast.List, ast.Set)
+        ):
+            for element in node.value.elts:
+                value = _resolve_message(element, messages)
+                if value is not None:
+                    unpaired.add(value)
+    if not reply_for and isinstance(imported.get("REPLY_FOR"), dict):
+        reply_for = dict(imported["REPLY_FOR"])
+    if not unpaired and isinstance(
+        imported.get("UNPAIRED_MESSAGES"), (tuple, list, set)
+    ):
+        unpaired = set(imported["UNPAIRED_MESSAGES"])
+    return messages, reply_for, unpaired
+
+
+def _resolve_message(node, messages: dict) -> "str | None":
+    if isinstance(node, ast.Name):
+        return messages.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class ProtocolJsonChecker(Checker):
+    rule = "REP004"
+    name = "protocol-json"
+    description = (
+        "farm protocol messages are JSON-native, spelled as MSG_* "
+        "constants, and paired through REPLY_FOR (or declared unpaired)"
+    )
+
+    def check(self, module: ModuleSource):
+        messages, reply_for, unpaired = _name_env(module)
+        if not messages:
+            return  # this module does not speak the protocol
+        paired = set(reply_for) | set(reply_for.values()) | unpaired
+        declares_locally = bool(_local_msg_constants(module.tree))
+        if declares_locally and reply_for:
+            for name, value in sorted(messages.items()):
+                if value not in paired:
+                    yield module.finding(
+                        self.rule,
+                        f"protocol message {name} ({value!r}) is neither "
+                        "a REPLY_FOR command, a reply, nor listed in "
+                        "UNPAIRED_MESSAGES — the coordinator cannot "
+                        "know what acknowledges it",
+                        node=module.tree,
+                        fix_hint="add it to REPLY_FOR (command -> reply) "
+                        "or declare it in UNPAIRED_MESSAGES",
+                    )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                yield from self._check_message_literal(
+                    module, node, messages, paired
+                )
+        yield from self._check_round_trip(module)
+
+    # ------------------------------------------------------------------
+    def _check_message_literal(self, module, node: ast.Dict, messages, paired):
+        type_value = None
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+            ):
+                type_value = value
+                break
+        if type_value is None:
+            return
+        if isinstance(type_value, ast.Constant):
+            yield module.finding(
+                self.rule,
+                f"message type spelled as string literal "
+                f"{type_value.value!r} — send sites must use the MSG_* "
+                "constant so the pairing table stays checkable",
+                node=type_value,
+                fix_hint="import and use the MSG_* constant",
+            )
+        elif isinstance(type_value, ast.Name):
+            resolved = messages.get(type_value.id)
+            if resolved is None and type_value.id.startswith("MSG_"):
+                yield module.finding(
+                    self.rule,
+                    f"unknown protocol constant {type_value.id} — not "
+                    "defined here nor resolvable through imports",
+                    node=type_value,
+                    fix_hint="import it from the protocol module",
+                )
+            elif resolved is not None and paired and resolved not in paired:
+                yield module.finding(
+                    self.rule,
+                    f"message {type_value.id} ({resolved!r}) is sent "
+                    "but absent from REPLY_FOR and UNPAIRED_MESSAGES",
+                    node=type_value,
+                    fix_hint="pair it in REPLY_FOR or declare it "
+                    "unpaired",
+                )
+        yield from self._check_json_native(module, node)
+
+    def _check_json_native(self, module, node: ast.Dict):
+        for key in node.keys:
+            if key is None:
+                continue  # **spread: contents unprovable, skip
+            if isinstance(key, ast.Constant) and not isinstance(
+                key.value, str
+            ):
+                yield module.finding(
+                    self.rule,
+                    f"protocol dict key {key.value!r} is not a string — "
+                    "JSON object keys must be strings",
+                    node=key,
+                    fix_hint="stringify the key",
+                )
+        for value in node.values:
+            yield from self._check_json_value(module, value)
+
+    def _check_json_value(self, module, node):
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, _JSON_LEAF_TYPES):
+                yield module.finding(
+                    self.rule,
+                    f"non-JSON constant of type "
+                    f"{type(node.value).__name__} in a protocol "
+                    "message — it cannot ride a socket transport",
+                    node=node,
+                    fix_hint="encode it as a JSON-native value (str/"
+                    "int/float/bool/null/list/object)",
+                )
+        elif isinstance(node, ast.Set):
+            yield module.finding(
+                self.rule,
+                "set literal in a protocol message — JSON has no set "
+                "type",
+                node=node,
+                fix_hint="use a (sorted) list",
+            )
+        elif isinstance(node, ast.Dict):
+            yield from self._check_json_native(module, node)
+        elif isinstance(node, (ast.List, ast.Tuple)):
+            for element in node.elts:
+                yield from self._check_json_value(module, element)
+        elif isinstance(node, ast.Call):
+            origin = module.imports.resolve_call(node)
+            if origin is not None and origin.split(".")[0] == "numpy":
+                yield module.finding(
+                    self.rule,
+                    f"numpy value {origin}(...) in a protocol message — "
+                    "numpy scalars/arrays are not JSON-serializable and "
+                    "break the socket-transport contract",
+                    node=node,
+                    fix_hint="convert with float()/int()/ndarray.tolist()"
+                    " before it enters the message",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_round_trip(self, module):
+        """Import-and-call: the scenario codec must survive real JSON."""
+        has_codec = any(
+            isinstance(node, ast.FunctionDef)
+            and node.name == "scenario_to_payload"
+            for node in module.tree.body
+        )
+        if not has_codec:
+            return
+        mod = module.import_module()
+        if mod is None or not hasattr(mod, "scenario_from_payload"):
+            return
+        try:
+            from repro.control.workload import WorkloadScenario
+
+            sample = WorkloadScenario(
+                "steady", ("cell0", "cell1"), slots=2, subcarriers=2
+            )
+        except Exception:
+            return  # scenario surface changed shape; nothing to probe
+        try:
+            payload = json.loads(json.dumps(mod.scenario_to_payload(sample)))
+            rebuilt = mod.scenario_from_payload(payload)
+        except Exception as error:
+            yield module.finding(
+                self.rule,
+                "scenario payload does not survive a JSON round-trip: "
+                f"{error!r}",
+                node=module.tree,
+                fix_hint="keep scenario_to_payload JSON-native",
+            )
+            return
+        if rebuilt != sample:
+            yield module.finding(
+                self.rule,
+                "scenario payload JSON round-trip changed the scenario "
+                f"({rebuilt!r} != {sample!r})",
+                node=module.tree,
+                fix_hint="normalise container types in the codec "
+                "(lists vs tuples) so equality survives JSON",
+            )

@@ -1,9 +1,9 @@
 """Channel models: Rayleigh/Rician fading, correlation, testbed traces."""
 
-from repro.channel.fading import rayleigh_channel, rayleigh_channels, rician_channel
 from repro.channel.correlation import exponential_correlation, kronecker_correlated
 from repro.channel.doppler import coherence_frames, doppler_trace, evolve_channel, jakes_correlation
 from repro.channel.estimation import estimate_channel_ls, pilot_matrix
+from repro.channel.fading import rayleigh_channel, rayleigh_channels, rician_channel
 from repro.channel.metrics import condition_number_db, mimo_capacity_bits
 from repro.channel.testbed import IndoorTestbed, TestbedGeometry
 from repro.channel.traces import ChannelTrace, combine_user_traces

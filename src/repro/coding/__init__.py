@@ -3,7 +3,7 @@
 from repro.coding.convolutional import ConvolutionalCode
 from repro.coding.crc import append_crc, check_crc, crc32_bits
 from repro.coding.interleaver import BlockInterleaver
-from repro.coding.puncturing import Puncturer, PUNCTURE_PATTERNS
+from repro.coding.puncturing import PUNCTURE_PATTERNS, Puncturer
 from repro.coding.scrambler import Scrambler
 from repro.coding.viterbi import ViterbiDecoder
 

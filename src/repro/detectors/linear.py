@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.detectors.base import DetectionResult, Detector
 from repro.mimo.qr import mmse_filter, zf_filter
-from repro.mimo.system import MimoSystem
 from repro.utils.flops import NULL_COUNTER, FlopCounter
 
 

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.detectors.base import DetectionResult, Detector
 from repro.mimo.qr import QrDecomposition, sorted_qr
-from repro.mimo.system import MimoSystem
 from repro.utils.flops import NULL_COUNTER, FlopCounter
 
 

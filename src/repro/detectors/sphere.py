@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.detectors.base import DetectionResult, Detector
 from repro.errors import ConfigurationError
-from repro.mimo.qr import QrDecomposition, fcsd_sorted_qr, plain_qr, sorted_qr
+from repro.mimo.qr import QrDecomposition, plain_qr, sorted_qr
 from repro.mimo.system import MimoSystem
 from repro.utils.flops import NULL_COUNTER, FlopCounter
 

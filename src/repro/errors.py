@@ -7,6 +7,19 @@ still letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DimensionError",
+    "ConstellationError",
+    "DetectionError",
+    "LinkSimulationError",
+    "ExperimentError",
+    "WorkerCrashError",
+    "LoadShedError",
+    "AnalysisError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -66,4 +79,14 @@ class LoadShedError(ReproError):
     cell's load: even the floor path budget cannot meet the slot
     deadline, so the frame is dropped explicitly rather than detected
     late.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis harness itself failed.
+
+    Raised by :mod:`repro.analysis` for *internal* problems — unusable
+    CLI arguments, a malformed or unjustified baseline file, a checker
+    crash — never for findings in the analyzed code (findings are data,
+    reported with exit code 1; this error is the exit-code-2 path).
     """

@@ -42,8 +42,8 @@ from repro.control import POLICY_NAMES, WorkloadScenario
 from repro.control.workload import SCENARIOS
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.common import ExperimentResult, get_profile
-from repro.modulation.constellation import QamConstellation
 from repro.mimo.model import noise_variance_for_snr_db
+from repro.modulation.constellation import QamConstellation
 from repro.ofdm.lte import SYMBOLS_PER_SLOT
 
 #: Path-budget range the governed run may move within.

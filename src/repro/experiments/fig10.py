@@ -10,7 +10,6 @@ activating close to one PE in easy channels and all 64 under full load.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.detectors.linear import MmseDetector
 from repro.experiments.common import ExperimentResult, get_profile

@@ -13,7 +13,6 @@ is >~21x faster than 8-thread CPU FCSD.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentResult, get_profile
 from repro.mimo.system import MimoSystem

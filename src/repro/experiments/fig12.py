@@ -12,7 +12,6 @@ L=1) or is unsupported; SIC can lose >10 dB.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentResult, get_profile
 from repro.experiments.snr_loss import build_snr_loss_table

@@ -20,8 +20,8 @@ import numpy as np
 from repro.channel.testbed import IndoorTestbed
 from repro.experiments.common import ExperimentResult, get_profile
 from repro.flexcore.probability import LevelErrorModel
-from repro.mimo.qr import sorted_qr
 from repro.mimo.model import noise_variance_for_snr_db
+from repro.mimo.qr import sorted_qr
 from repro.modulation.constellation import QamConstellation
 from repro.utils.rng import as_rng
 

@@ -17,7 +17,6 @@ MMSE and FCSD.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.detectors.fcsd import FcsdDetector
 from repro.detectors.linear import MmseDetector

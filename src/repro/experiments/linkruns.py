@@ -5,7 +5,6 @@ from __future__ import annotations
 import warnings
 from dataclasses import replace
 
-import numpy as np
 
 from repro.api import (
     BackendSpec,

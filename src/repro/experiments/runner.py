@@ -32,24 +32,24 @@ from repro.api import BackendSpec, GovernorSpec, StackConfig, presets
 from repro.control import POLICY_NAMES
 from repro.control.workload import SCENARIOS
 from repro.errors import ConfigurationError, ExperimentError
-from repro.experiments import get_profile
-from repro.experiments.common import atomic_write_text
-from repro.obs import clear_global, install_global
 from repro.experiments import (
     ablations,
     farm,
-    fleet,
-    soft_gain,
-    fig9,
     fig10,
     fig11,
     fig12,
     fig13,
     fig14,
+    fig9,
+    fleet,
+    get_profile,
+    soft_gain,
     table1,
     table2,
     table3,
 )
+from repro.experiments.common import atomic_write_text
+from repro.obs import clear_global, install_global
 
 EXPERIMENTS = {
     "table1": table1.run,

@@ -8,7 +8,6 @@ sweep, at a fixed PE budget.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentResult, get_profile
 from repro.experiments.linkruns import make_link_config, make_sampler_factory

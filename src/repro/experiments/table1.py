@@ -12,7 +12,6 @@ rate), with vectors arriving on ~50 subcarriers every 4 µs OFDM symbol at
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.channel.fading import rayleigh_channel
 from repro.detectors.sphere import SphereDecoder

@@ -9,7 +9,6 @@ N_PE/10 per §3.1.1; detection is one path per PE).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.channel.fading import rayleigh_channel
 from repro.experiments.common import ExperimentResult, get_profile

@@ -11,11 +11,8 @@ the published synthesis numbers; deviations are reported per resource.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentResult, get_profile
-from repro.mimo.system import MimoSystem
-from repro.modulation.constellation import QamConstellation
 from repro.parallel.fpga import FCSD_COST_MODEL, FLEXCORE_COST_MODEL, RtlCostModel
 
 PAPER_ROWS = {

@@ -77,6 +77,13 @@ REPLY_FOR = {
     MSG_STOP: MSG_STOPPED,
 }
 
+#: Messages that are deliberately *not* a command/ack pair: the spawn
+#: handshake the worker volunteers before any command arrives, and the
+#: error report that can replace any expected reply.  Every ``MSG_*``
+#: must appear in :data:`REPLY_FOR` (either side) or here — enforced by
+#: the REP004 static-analysis rule.
+UNPAIRED_MESSAGES = (MSG_READY, MSG_ERROR)
+
 
 def scenario_to_payload(scenario: WorkloadScenario) -> dict:
     """A :class:`WorkloadScenario` as a JSON-native dict."""

@@ -41,6 +41,7 @@ from repro.flexcore.preprocessing import (
     find_promising_paths,
     find_promising_paths_block,
 )
+from repro.flexcore.probability import LevelErrorModel
 from repro.mimo.qr import (
     QrDecomposition,
     fcsd_sorted_qr,
@@ -50,7 +51,6 @@ from repro.mimo.qr import (
     stacked_plain_qr,
     stacked_sorted_qr,
 )
-from repro.flexcore.probability import LevelErrorModel
 from repro.mimo.system import MimoSystem
 from repro.obs import SPAN_QR, SPAN_TREE_SEARCH, current_tracer
 from repro.utils.flops import NULL_COUNTER, FlopCounter

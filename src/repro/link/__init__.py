@@ -1,9 +1,9 @@
 """End-to-end coded link simulation: PER, throughput, SNR calibration."""
 
+from repro.link.calibration import find_snr_for_per
 from repro.link.config import LinkConfig
 from repro.link.simulation import LinkResult, simulate_link
 from repro.link.throughput import network_throughput_bps, user_phy_rate_bps
-from repro.link.calibration import find_snr_for_per
 
 __all__ = [
     "LinkConfig",

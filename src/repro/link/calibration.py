@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.detectors.base import Detector
 from repro.errors import LinkSimulationError
 from repro.link.config import LinkConfig
-from repro.link.simulation import LinkResult, simulate_link
+from repro.link.simulation import simulate_link
 
 
 @dataclass

@@ -10,12 +10,12 @@ throughput mapping while making Monte-Carlo tractable; see DESIGN.md
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.coding import ConvolutionalCode, Puncturer
 from repro.errors import ConfigurationError
 from repro.mimo.system import MimoSystem
-from repro.ofdm.params import OfdmParams, WIFI_20MHZ
+from repro.ofdm.params import WIFI_20MHZ, OfdmParams
 
 
 @dataclass(frozen=True)

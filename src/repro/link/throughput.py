@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.mimo.system import MimoSystem
-from repro.ofdm.params import OfdmParams, WIFI_20MHZ
+from repro.ofdm.params import WIFI_20MHZ, OfdmParams
 
 
 def user_phy_rate_bps(

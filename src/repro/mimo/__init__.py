@@ -1,5 +1,7 @@
 """MIMO system descriptors, channel model glue and QR decompositions."""
 
+from repro.mimo.lattice import clll_reduce, orthogonality_defect
+from repro.mimo.model import apply_channel, noise_variance_for_snr_db, snr_db_for_noise_variance
 from repro.mimo.qr import (
     QrDecomposition,
     fcsd_sorted_qr,
@@ -8,9 +10,7 @@ from repro.mimo.qr import (
     sorted_qr,
     zf_filter,
 )
-from repro.mimo.lattice import clll_reduce, orthogonality_defect
 from repro.mimo.system import MimoSystem
-from repro.mimo.model import apply_channel, noise_variance_for_snr_db, snr_db_for_noise_variance
 
 __all__ = [
     "MimoSystem",

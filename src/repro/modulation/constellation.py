@@ -23,8 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DimensionError
-from repro.utils.bits import bits_to_ints, gray_decode, gray_encode, ints_to_bits
+from repro.utils.bits import bits_to_ints, gray_encode, ints_to_bits
 from repro.utils.validation import check_square_qam_order
 
 

@@ -23,12 +23,14 @@ import time
 from repro.obs.metrics import (
     DEADLINE_MARGIN_EDGES_S,
     DEFAULT_LATENCY_EDGES_S,
+    METRIC_NAMES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
 )
 from repro.obs.tracer import (
+    EVENT_NAMES,
     EVENT_WORKER_RESTART,
     NULL_TRACER,
     SPAN_CHUNK,
@@ -37,6 +39,7 @@ from repro.obs.tracer import (
     SPAN_DOWNLOAD,
     SPAN_FLUSH,
     SPAN_GOVERNOR_TICK,
+    SPAN_NAMES,
     SPAN_PREPARE,
     SPAN_QR,
     SPAN_TREE_SEARCH,
@@ -75,6 +78,9 @@ __all__ = [
     "SPAN_DECODE",
     "SPAN_CHUNK",
     "EVENT_WORKER_RESTART",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
+    "METRIC_NAMES",
 ]
 
 #: pid lane of the main process in merged timelines; worker ``k`` of a

@@ -21,11 +21,32 @@ from repro.errors import ConfigurationError
 __all__ = [
     "DEFAULT_LATENCY_EDGES_S",
     "DEADLINE_MARGIN_EDGES_S",
+    "METRIC_NAMES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
 ]
+
+#: The complete metric-name catalogue.  Instrumentation call sites
+#: (``metrics.counter("...")`` etc.) must use one of these names —
+#: enforced by the REP005 static-analysis rule, so a renamed metric
+#: cannot silently orphan the dashboards and regression thresholds
+#: keyed on it.  New instrumentation starts by adding its name here.
+METRIC_NAMES = (
+    "repro_deadline_hit_rate",
+    "repro_deadline_margin_seconds",
+    "repro_download_bytes_total",
+    "repro_flush_latency_seconds",
+    "repro_flushes_total",
+    "repro_frames_detected_total",
+    "repro_frames_late_total",
+    "repro_frames_shed_total",
+    "repro_prepare_cache_hits_total",
+    "repro_prepare_cache_misses_total",
+    "repro_upload_bytes_total",
+    "repro_worker_restarts_total",
+)
 
 #: Log-spaced seconds buckets, 10 µs … 10 s — wide enough for a cold
 #: prepare, fine enough to resolve a 500 µs slot budget.

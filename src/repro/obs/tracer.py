@@ -44,6 +44,8 @@ __all__ = [
     "SPAN_DECODE",
     "SPAN_CHUNK",
     "EVENT_WORKER_RESTART",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -65,6 +67,27 @@ SPAN_DECODE = "decode"
 SPAN_CHUNK = "chunk"
 
 EVENT_WORKER_RESTART = "worker_restart"
+
+#: The complete span-name vocabulary.  ``tracer.span(...)`` call sites
+#: must use one of these (via its ``SPAN_*`` constant) — enforced by the
+#: REP005 static-analysis rule, so dashboards keyed on a span name never
+#: silently go dark after a rename.
+SPAN_NAMES = (
+    SPAN_PREPARE,
+    SPAN_QR,
+    SPAN_TREE_SEARCH,
+    SPAN_DETECT,
+    SPAN_UPLOAD,
+    SPAN_DOWNLOAD,
+    SPAN_FLUSH,
+    SPAN_GOVERNOR_TICK,
+    SPAN_DECODE,
+    SPAN_CHUNK,
+)
+
+#: Instant (``ph="i"``) marker vocabulary, same contract as
+#: :data:`SPAN_NAMES` for ``tracer.instant(...)`` call sites.
+EVENT_NAMES = (EVENT_WORKER_RESTART,)
 
 
 class _NullSpan:

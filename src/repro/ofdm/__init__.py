@@ -1,7 +1,5 @@
 """OFDM framing: the 802.11 64-subcarrier grid and LTE mode parameters."""
 
-from repro.ofdm.params import OfdmParams, WIFI_20MHZ
-from repro.ofdm.modem import OfdmModem
 from repro.ofdm.lte import (
     FRAME_DURATION_S,
     LTE_MODES,
@@ -12,6 +10,8 @@ from repro.ofdm.lte import (
     lte_mode,
     slot_deadline,
 )
+from repro.ofdm.modem import OfdmModem
+from repro.ofdm.params import WIFI_20MHZ, OfdmParams
 
 __all__ = [
     "FRAME_DURATION_S",

@@ -54,16 +54,16 @@ from repro.runtime.cells import (
     StreamingUplinkEngine,
 )
 from repro.runtime.engine import BatchedUplinkEngine
+from repro.runtime.residency import ResidencyStats, ResidentContextStore
 from repro.runtime.scheduler import (
+    FlushRecord,
     FrameArrival,
     FrameDetection,
-    FlushRecord,
     MicroBatcher,
     SchedulerTelemetry,
     StreamingScheduler,
     merge_scheduler_summaries,
 )
-from repro.runtime.residency import ResidencyStats, ResidentContextStore
 from repro.runtime.service import DetectionService, clamp_context_paths
 from repro.runtime.xp import (
     ARRAY_BACKEND_ENV,

@@ -28,7 +28,6 @@ import numpy as np
 
 from repro.detectors.base import Detector
 from repro.errors import ConfigurationError, LoadShedError
-from repro.ofdm.lte import SYMBOLS_PER_SLOT
 from repro.runtime.batch import (
     BatchDetectionResult,
     RuntimeStats,
@@ -36,8 +35,8 @@ from repro.runtime.batch import (
 )
 from repro.runtime.cache import CacheStats, ContextCache
 from repro.runtime.scheduler import (
-    FrameArrival,
     FlushRecord,
+    FrameArrival,
     StreamingScheduler,
     merge_scheduler_summaries,
 )

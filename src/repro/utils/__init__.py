@@ -8,7 +8,7 @@ from repro.utils.bits import (
     int_to_bits,
     ints_to_bits,
 )
-from repro.utils.flops import FlopCounter, NULL_COUNTER
+from repro.utils.flops import NULL_COUNTER, FlopCounter
 from repro.utils.rng import as_rng
 from repro.utils.validation import (
     check_positive_int,

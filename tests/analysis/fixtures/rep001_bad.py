@@ -1,0 +1,18 @@
+"""REP001 positive fixture: blocking calls reachable from async defs."""
+
+import time
+
+
+async def handler():
+    time.sleep(0.1)
+
+
+class Loop:
+    async def run(self):
+        self._step()
+
+    def _step(self):
+        self._wait()
+
+    def _wait(self):
+        time.sleep(0.5)

@@ -1,0 +1,13 @@
+"""REP001 negative fixture: awaited sleeps and sync-only blocking."""
+
+import asyncio
+import time
+
+
+async def handler():
+    await asyncio.sleep(0.1)
+
+
+def sync_worker():
+    # Blocking is fine here: nothing async reaches this function.
+    time.sleep(0.5)

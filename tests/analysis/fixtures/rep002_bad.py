@@ -1,0 +1,21 @@
+"""REP002 positive fixture: unordered reductions and global RNGs."""
+
+import random
+
+import numpy as np
+
+
+def total():
+    acc = 0.0
+    for value in {1.0, 2.0, 3.0}:
+        acc += value
+    acc += sum({0.5, 0.25})
+    return acc
+
+
+def scaled():
+    return [2.0 * value for value in {1.0, 2.0}]
+
+
+def draw():
+    return np.random.rand() + random.random()

@@ -1,0 +1,15 @@
+"""REP002 negative fixture: sorted iteration and seeded generators."""
+
+import numpy as np
+
+
+def total():
+    acc = 0.0
+    for value in sorted({1.0, 2.0, 3.0}):
+        acc += value
+    return acc + sum(sorted({0.5, 0.25}))
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal()

@@ -1,0 +1,21 @@
+"""REP003 positive fixture: a drifted spec dataclass.
+
+``beta`` never reaches ``to_dict`` (drops on serialize) and
+``from_dict`` swallows unknown keys instead of rejecting them.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadSpec:
+    alpha: int
+    beta: int
+
+    def to_dict(self):
+        return {"alpha": self.alpha}
+
+    @classmethod
+    def from_dict(cls, payload):
+        data = dict(payload)
+        return cls(alpha=data.get("alpha", 0), beta=data.get("beta", 0))

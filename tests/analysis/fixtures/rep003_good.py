@@ -1,0 +1,20 @@
+"""REP003 negative fixture: a spec dataclass holding the contract."""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    alpha: int
+    beta: int
+
+    def to_dict(self):
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    @classmethod
+    def from_dict(cls, payload):
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown keys: {unknown}")
+        return cls(**payload)

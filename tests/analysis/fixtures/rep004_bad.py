@@ -1,0 +1,16 @@
+"""REP004 positive fixture: a leaky wire protocol.
+
+``MSG_ROGUE`` has no pairing, one send spells the type as a bare
+string, and the payloads carry bytes and a set.
+"""
+
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_ROGUE = "rogue"
+
+REPLY_FOR = {MSG_PING: MSG_PONG}
+
+
+def send(pipe):
+    pipe.send({"type": "ping", "payload": b"raw"})
+    pipe.send({"type": MSG_ROGUE, "tags": {1, 2}})

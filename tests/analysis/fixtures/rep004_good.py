@@ -1,0 +1,14 @@
+"""REP004 negative fixture: a fully-paired JSON-native protocol."""
+
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_ERROR = "error"
+
+REPLY_FOR = {MSG_PING: MSG_PONG}
+UNPAIRED_MESSAGES = (MSG_ERROR,)
+
+
+def send(pipe, value):
+    pipe.send(
+        {"type": MSG_PING, "value": float(value), "tags": ["a", "b"]}
+    )

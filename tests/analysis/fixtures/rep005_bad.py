@@ -1,0 +1,6 @@
+"""REP005 positive fixture: invented span and metric names."""
+
+
+def record(tracer, metrics):
+    with tracer.span("made_up_span"):
+        metrics.counter("bogus_metric_total").inc()

@@ -1,0 +1,13 @@
+"""REP005 negative fixture: catalogued names, variable names skipped."""
+
+from repro.obs import SPAN_FLUSH
+
+
+def record(tracer, metrics):
+    with tracer.span(SPAN_FLUSH):
+        metrics.counter("repro_flushes_total").inc()
+    metrics.gauge(_derived_name())
+
+
+def _derived_name():
+    return "repro_deadline_hit_rate"

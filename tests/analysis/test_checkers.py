@@ -1,0 +1,83 @@
+"""Each REP rule fires on its bad fixture and stays silent on the good one."""
+
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(rule, filename):
+    report = run_analysis([FIXTURES / filename], root=FIXTURES, rules=[rule])
+    assert report.rules_run == (rule,)
+    return report.findings
+
+
+class TestRep001AsyncBlocking:
+    def test_fires_on_direct_and_chained_blocking(self):
+        findings = findings_for("REP001", "rep001_bad.py")
+        assert len(findings) == 2
+        direct, chained = findings
+        assert "time.sleep" in direct.message
+        assert "async def handler" in direct.message
+        assert "via _step -> _wait" in chained.message
+        assert all(f.rule == "REP001" for f in findings)
+        assert all("asyncio.sleep" in f.fix_hint for f in findings)
+
+    def test_silent_on_awaited_and_sync_code(self):
+        assert findings_for("REP001", "rep001_good.py") == []
+
+
+class TestRep002Determinism:
+    def test_fires_on_set_iteration_and_global_rng(self):
+        findings = findings_for("REP002", "rep002_bad.py")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 5
+        assert "iteration order over a set" in messages
+        assert "sum() over a set" in messages
+        assert "comprehension iterates a set" in messages
+        assert "numpy.random.rand" in messages
+        assert "random.random" in messages
+
+    def test_silent_on_sorted_and_seeded(self):
+        assert findings_for("REP002", "rep002_good.py") == []
+
+
+class TestRep003SpecDrift:
+    def test_fires_on_dropped_field_and_lenient_from_dict(self):
+        findings = findings_for("REP003", "rep003_bad.py")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "BadSpec.beta" in messages
+        assert "never a to_dict key" in messages
+        assert "silently accepted an unknown key" in messages
+
+    def test_silent_on_complete_strict_spec(self):
+        assert findings_for("REP003", "rep003_good.py") == []
+
+
+class TestRep004Protocol:
+    def test_fires_on_unpaired_literal_and_non_json(self):
+        findings = findings_for("REP004", "rep004_bad.py")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 5
+        assert "MSG_ROGUE" in messages
+        assert "string literal 'ping'" in messages
+        assert "non-JSON constant of type bytes" in messages
+        assert "set literal in a protocol message" in messages
+        assert "absent from REPLY_FOR and UNPAIRED_MESSAGES" in messages
+
+    def test_silent_on_paired_json_native_protocol(self):
+        assert findings_for("REP004", "rep004_good.py") == []
+
+
+class TestRep005ObsCatalogue:
+    def test_fires_on_invented_span_and_metric_names(self):
+        findings = findings_for("REP005", "rep005_bad.py")
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "made_up_span" in messages
+        assert "bogus_metric_total" in messages
+
+    def test_silent_on_catalogued_and_variable_names(self):
+        assert findings_for("REP005", "rep005_good.py") == []

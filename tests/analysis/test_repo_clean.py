@@ -1,0 +1,76 @@
+"""The repo itself passes its own analyzer, and the error surface is whole."""
+
+from pathlib import Path
+
+import pytest
+
+import repro.errors
+from repro.analysis import BASELINE_FILENAME, Baseline, run_analysis
+from repro.analysis.base import REGISTRY, all_checkers
+from repro.errors import AnalysisError, ReproError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+class TestRepoIsClean:
+    def test_zero_unsuppressed_findings(self):
+        baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+        report = run_analysis([SRC], root=REPO_ROOT, baseline=baseline)
+        assert report.findings == [], [f.text_line() for f in report.findings]
+        assert report.rules_run == (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+        )
+        assert report.files_checked > 100
+
+    def test_no_stale_baseline_entries(self):
+        baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+        run_analysis([SRC], root=REPO_ROOT, baseline=baseline)
+        assert baseline.stale_entries() == []
+
+    def test_every_baseline_entry_is_justified(self):
+        baseline = Baseline.load(REPO_ROOT / BASELINE_FILENAME)
+        assert baseline.suppressions, "baseline should document the review"
+        for entry in baseline.suppressions:
+            assert len(entry.justification) > 20, entry
+
+
+class TestRegistry:
+    def test_five_rules_registered(self):
+        all_checkers()  # imports the checkers package
+        assert sorted(REGISTRY) == [
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+        ]
+
+    def test_unknown_rule_raises_analysis_error(self):
+        with pytest.raises(AnalysisError):
+            all_checkers(["REP999"])
+
+
+class TestErrorSurface:
+    def test_all_typed_errors_exported_and_importable(self):
+        exported = repro.errors.__all__
+        assert "AnalysisError" in exported
+        for name in exported:
+            error_cls = getattr(repro.errors, name)
+            assert isinstance(error_cls, type), name
+            assert issubclass(error_cls, Exception), name
+
+    def test_every_repro_error_subclass_is_in_all(self):
+        subclasses = {
+            cls.__name__
+            for cls in ReproError.__subclasses__()
+            if cls.__module__ == "repro.errors"
+        }
+        assert subclasses <= set(repro.errors.__all__)
+
+    def test_analysis_error_is_a_repro_error(self):
+        assert issubclass(AnalysisError, ReproError)

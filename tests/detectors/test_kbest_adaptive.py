@@ -10,8 +10,6 @@ from repro.detectors.kbest_adaptive import (
 )
 from repro.errors import ConfigurationError
 from repro.flexcore.probability import LevelErrorModel
-from repro.mimo.system import MimoSystem
-from repro.modulation.constellation import QamConstellation
 from tests.conftest import random_link
 
 

@@ -1,7 +1,6 @@
 """Tests for ordered successive interference cancellation."""
 
 import numpy as np
-import pytest
 
 from repro.detectors.linear import ZfDetector
 from repro.detectors.sic import SicDetector

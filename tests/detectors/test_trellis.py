@@ -1,7 +1,6 @@
 """Tests for the trellis-based parallel detector [50]."""
 
 import numpy as np
-import pytest
 
 from repro.detectors.linear import MmseDetector
 from repro.detectors.ml import MlDetector

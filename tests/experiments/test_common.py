@@ -7,7 +7,6 @@ import pytest
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     PROFILES,
-    ExperimentProfile,
     ExperimentResult,
     atomic_write_text,
     get_profile,

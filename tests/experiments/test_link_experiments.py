@@ -9,7 +9,7 @@ import math
 
 import pytest
 
-from repro.experiments import ablations, fig9, fig10, fig12, fig14, table1, table2
+from repro.experiments import ablations, fig10, fig12, fig14, fig9, table1, table2
 from repro.experiments.common import PROFILES
 
 TINY = PROFILES["quick"].scaled(0.25)

@@ -6,8 +6,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
 from repro.flexcore.detector import FlexCoreDetector
-from repro.mimo.system import MimoSystem
-from repro.modulation.constellation import QamConstellation
 from tests.conftest import random_link
 
 

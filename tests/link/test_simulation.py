@@ -3,14 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.channel.testbed import IndoorTestbed
 from repro.detectors.linear import MmseDetector, ZfDetector
+from repro.errors import LinkSimulationError
 from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
 from repro.flexcore.detector import FlexCoreDetector
-from repro.errors import LinkSimulationError
 from repro.link.channels import rayleigh_sampler, testbed_sampler, trace_sampler
 from repro.link.config import LinkConfig
 from repro.link.simulation import simulate_link
-from repro.channel.testbed import IndoorTestbed
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 

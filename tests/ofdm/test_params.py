@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.ofdm.params import OfdmParams, WIFI_20MHZ
+from repro.ofdm.params import WIFI_20MHZ, OfdmParams
 
 
 class TestWifiGrid:

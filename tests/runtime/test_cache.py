@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.channel.fading import rayleigh_channel, rayleigh_channels
+from repro.channel.testbed import IndoorTestbed
 from repro.errors import ConfigurationError
 from repro.flexcore.detector import FlexCoreDetector
 from repro.link.channels import testbed_sampler
 from repro.link.config import LinkConfig
 from repro.link.simulation import simulate_link
-from repro.channel.testbed import IndoorTestbed
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 from repro.runtime import (

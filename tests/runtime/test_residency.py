@@ -24,6 +24,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import BackendSpec
 from repro.channel.fading import rayleigh_channels
 from repro.errors import ConfigurationError
 from repro.flexcore.adaptive import AdaptiveFlexCoreDetector
@@ -33,7 +34,6 @@ from repro.mimo.model import apply_channel, noise_variance_for_snr_db
 from repro.mimo.system import MimoSystem
 from repro.modulation.constellation import QamConstellation
 from repro.modulation.mapper import random_symbol_indices
-from repro.api import BackendSpec
 from repro.runtime import (
     ArrayBackend,
     ContextCache,
@@ -47,8 +47,8 @@ from repro.runtime import (
 )
 from repro.runtime.cells import CellStats
 from repro.runtime.scheduler import FlushRecord
-from repro.utils.xp import default_array_module, resolve_array_module
 from repro.utils import xp as xp_module
+from repro.utils.xp import default_array_module, resolve_array_module
 
 NUM_FRAMES = 4
 

@@ -1,6 +1,5 @@
 """Cross-module integration tests: the paper's claims in miniature."""
 
-import numpy as np
 import pytest
 
 from repro.channel.testbed import IndoorTestbed
